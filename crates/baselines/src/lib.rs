@@ -1,0 +1,21 @@
+//! Baseline collision-resolution schemes the paper compares TnB against.
+//!
+//! - [`lora_phy`]: the standard single-packet LoRa decoder (strongest peak
+//!   per symbol), i.e. the `LoRaPHY` baseline.
+//! - [`cic`]: Concurrent Interference Cancellation (SIGCOMM'21), which
+//!   demodulates each target symbol over sub-windows delimited by the
+//!   interferers' symbol boundaries and intersects the surviving peaks.
+//! - [`aligntrack`]: `AlignTrack*`, the peak-assignment core of AlignTrack
+//!   (ICNP'21) as re-implemented by the paper: a peak belongs to the packet
+//!   in whose (boundary-aligned) signal vector it is highest.
+//!
+//! All schemes implement the [`Scheme`] trait; each peak-assignment scheme
+//! can be decoded with the default Hamming decoder or composed with BEC
+//! (the paper's `CIC+` / `AlignTrack*+`).
+
+pub mod aligntrack;
+pub mod cic;
+pub mod lora_phy;
+pub mod scheme;
+
+pub use scheme::{Scheme, SchemeKind};

@@ -1,0 +1,51 @@
+//! The `LoRaPHY` baseline: the standard single-packet LoRa decoder.
+//!
+//! For each detected packet every symbol is demodulated as the strongest
+//! bin of its own signal vector (no collision resolution) and decoded
+//! with the default Hamming decoder — what a commodity gateway does.
+
+use crate::scheme::{drive_baseline, Scheme, SymbolAssigner};
+use tnb_core::packet::{DecodedPacket, DetectedPacket};
+use tnb_core::sigcalc::SigCalc;
+use tnb_dsp::Complex32;
+use tnb_phy::params::LoRaParams;
+
+/// The standard decoder baseline.
+pub struct LoRaPhyScheme {
+    params: LoRaParams,
+}
+
+impl LoRaPhyScheme {
+    /// Builds the baseline for a parameter set.
+    pub fn new(params: LoRaParams) -> Self {
+        LoRaPhyScheme { params }
+    }
+}
+
+struct ArgmaxAssigner;
+
+impl SymbolAssigner for ArgmaxAssigner {
+    fn assign(
+        &self,
+        sig: &mut SigCalc<'_>,
+        _antennas: &[&[Complex32]],
+        packets: &[DetectedPacket],
+        _extents: &[(i64, i64)],
+        pkt: usize,
+        j: isize,
+    ) -> Option<(u16, f32)> {
+        let v = sig.symbol_vector(pkt, &packets[pkt], j)?;
+        let (bin, &h) = v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))?;
+        Some((bin as u16, h))
+    }
+}
+
+impl Scheme for LoRaPhyScheme {
+    fn name(&self) -> &'static str {
+        "LoRaPHY"
+    }
+
+    fn decode(&self, antennas: &[&[Complex32]]) -> Vec<DecodedPacket> {
+        drive_baseline(self.params, false, &ArgmaxAssigner, antennas)
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion benches for BEC vs the default Hamming decoder — the
+//! complexity claim of paper Table 2 ("the complexity of BEC is
+//! moderate").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tnb_core::bec::decode_block;
+use tnb_phy::hamming::{decode_default, encode};
+use tnb_phy::params::CodingRate;
+
+/// A corrupted block with 2 error columns (errors beyond the default
+/// decoder).
+fn corrupted_block(cr: CodingRate, sf: usize) -> Vec<u8> {
+    let mut rows: Vec<u8> = (0..sf).map(|i| encode((i * 5 % 16) as u8, cr)).collect();
+    for (i, row) in rows.iter_mut().enumerate() {
+        if i % 3 == 0 {
+            *row ^= 0b11; // columns 0 and 1
+        } else if i % 3 == 1 {
+            *row ^= 0b01;
+        }
+    }
+    rows
+}
+
+fn bench_block_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_decode");
+    for cr in [CodingRate::CR2, CodingRate::CR3, CodingRate::CR4] {
+        let rows = corrupted_block(cr, 8);
+        g.bench_with_input(BenchmarkId::new("bec", cr.value()), &cr, |b, &cr| {
+            b.iter(|| decode_block(std::hint::black_box(&rows), cr));
+        });
+        g.bench_with_input(BenchmarkId::new("default", cr.value()), &cr, |b, &cr| {
+            b.iter(|| {
+                rows.iter()
+                    .map(|&r| decode_default(std::hint::black_box(r), cr).nibble)
+                    .collect::<Vec<u8>>()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_block_decode);
+criterion_main!(benches);

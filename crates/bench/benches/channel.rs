@@ -1,0 +1,47 @@
+//! Criterion benches for trace synthesis: the ETU tapped delay line and
+//! full packet insertion (the dominant cost of building long traces).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tnb_channel::fading::{ChannelModel, TappedChannel};
+use tnb_channel::trace::{PacketConfig, TraceBuilder};
+use tnb_dsp::Complex32;
+use tnb_phy::{CodingRate, LoRaParams, SpreadingFactor};
+
+fn bench_etu(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let ch = TappedChannel::realise(&mut rng, ChannelModel::Etu { doppler_hz: 5.0 }, 1e6)
+        .expect("etu channel");
+    let input = vec![Complex32::ONE; 131_072]; // one SF8 packet's worth
+    c.bench_function("etu_apply/128k_samples", |b| {
+        b.iter(|| ch.apply(std::hint::black_box(&input)));
+    });
+}
+
+fn bench_trace_build(c: &mut Criterion) {
+    let params = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+    let mut g = c.benchmark_group("trace_build");
+    g.sample_size(10);
+    g.bench_function("ten_packets_awgn", |b| {
+        b.iter(|| {
+            let mut builder = TraceBuilder::new(params, 3);
+            for k in 0..10usize {
+                builder.add_packet(
+                    &[k as u8; 16],
+                    PacketConfig {
+                        start_sample: k * 100_000,
+                        snr_db: 10.0,
+                        cfo_hz: 1000.0,
+                        ..Default::default()
+                    },
+                );
+            }
+            builder.build()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_etu, bench_trace_build);
+criterion_main!(benches);

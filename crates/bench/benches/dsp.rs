@@ -1,0 +1,49 @@
+//! Criterion benches for the DSP substrate: FFT and peak finding — the
+//! inner loops of every receiver in the workspace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tnb_dsp::{find_peaks, Complex32, FftPlan, PeakFinderConfig};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for &size in &[1024usize, 2048, 8192] {
+        let plan = FftPlan::new(size);
+        let mut buf: Vec<Complex32> = (0..size)
+            .map(|i| Complex32::from_phase(i as f64 * 0.37))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("forward", size), &size, |b, _| {
+            b.iter(|| plan.forward(std::hint::black_box(&mut buf)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_peakfinder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("peakfinder");
+    for &n in &[256usize, 1024] {
+        // A realistic collided signal vector: a few peaks over noise.
+        let mut s = 0x12345u64;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 1000) as f32 / 1000.0
+        };
+        let mut v: Vec<f32> = (0..n).map(|_| rnd()).collect();
+        for k in 0..6 {
+            v[(k * 41 + 13) % n] = 20.0 + k as f32;
+        }
+        let cfg = PeakFinderConfig {
+            circular: true,
+            max_peaks: Some(12),
+            ..PeakFinderConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::new("circular", n), &n, |b, _| {
+            b.iter(|| find_peaks(std::hint::black_box(&v), &cfg));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_peakfinder);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benches for the PHY layer: modulation, demodulation, and the
+//! full encode path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tnb_phy::demodulate::Demodulator;
+use tnb_phy::{CodingRate, LoRaParams, SpreadingFactor, Transmitter};
+
+fn bench_transmit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transmit");
+    for sf in [SpreadingFactor::SF8, SpreadingFactor::SF10] {
+        let tx = Transmitter::new(LoRaParams::new(sf, CodingRate::CR4));
+        let payload = [0xA5u8; 16];
+        g.bench_with_input(BenchmarkId::new("16B", sf.value()), &sf, |b, _| {
+            b.iter(|| tx.transmit(std::hint::black_box(&payload)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_demod_symbol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("demod_symbol");
+    for sf in [SpreadingFactor::SF8, SpreadingFactor::SF10] {
+        let d = Demodulator::new(LoRaParams::new(sf, CodingRate::CR4));
+        let wave = d.chirps().symbol(42);
+        g.bench_with_input(
+            BenchmarkId::new("signal_vector", sf.value()),
+            &sf,
+            |b, _| {
+                b.iter(|| d.signal_vector(std::hint::black_box(&wave), 1.5));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_transmit, bench_demod_symbol);
+criterion_main!(benches);

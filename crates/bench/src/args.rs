@@ -1,0 +1,94 @@
+//! Minimal command-line parsing shared by the experiment binaries (no
+//! external dependency; flags follow `--name value`).
+
+/// Common experiment knobs.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Trace duration in seconds (default 3; the paper used 30 — offered
+    /// load keeps collision statistics duration-invariant, shorter traces
+    /// only widen confidence intervals).
+    pub duration_s: f64,
+    /// Runs (seeds) averaged per data point (paper: 3).
+    pub runs: u64,
+    /// Offered loads in packets per second (paper: 5..=25 step 5).
+    pub loads: Vec<f64>,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Quick mode: restricts sweeps for smoke tests.
+    pub quick: bool,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs {
+            duration_s: 3.0,
+            runs: 1,
+            loads: vec![5.0, 10.0, 15.0, 20.0, 25.0],
+            seed: 1,
+            quick: false,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args()`; unknown flags abort with a usage
+    /// message.
+    pub fn parse() -> Self {
+        let mut out = ExpArgs::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--duration" => {
+                    out.duration_s = next(&args, &mut i).parse().expect("--duration seconds");
+                }
+                "--runs" => {
+                    out.runs = next(&args, &mut i).parse().expect("--runs count");
+                }
+                "--seed" => {
+                    out.seed = next(&args, &mut i).parse().expect("--seed value");
+                }
+                "--loads" => {
+                    out.loads = next(&args, &mut i)
+                        .split(',')
+                        .map(|s| s.parse().expect("--loads a,b,c"))
+                        .collect();
+                }
+                "--quick" => {
+                    out.quick = true;
+                    i += 1;
+                }
+                other => {
+                    eprintln!(
+                        "unknown flag {other}; supported: --duration S --runs N --seed N --loads a,b,c --quick"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        if out.quick {
+            out.duration_s = out.duration_s.min(1.5);
+            out.loads = vec![*out.loads.last().unwrap_or(&25.0)];
+            out.runs = 1;
+        }
+        out
+    }
+}
+
+fn next<'a>(args: &'a [String], i: &mut usize) -> &'a str {
+    *i += 2;
+    args.get(*i - 1)
+        .unwrap_or_else(|| panic!("flag {} needs a value", args[*i - 2]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_sweep() {
+        let a = ExpArgs::default();
+        assert_eq!(a.loads, vec![5.0, 10.0, 15.0, 20.0, 25.0]);
+        assert_eq!(a.runs, 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Fig. 11: lower bound of the medium usage (packets simultaneously on
+//! the air) at the highest load, for SF 8 and SF 10, computed — as in the
+//! paper — from the packets TnB decodes.
+
+use tnb_baselines::SchemeKind;
+use tnb_bench::ExpArgs;
+use tnb_phy::{CodingRate, LoRaParams, SpreadingFactor};
+use tnb_sim::metrics::medium_usage;
+use tnb_sim::{build_experiment, run_scheme, Deployment, ExperimentConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let load = *args.loads.last().unwrap_or(&25.0);
+    println!("Fig. 11: medium usage lower bound at {load} pkt/s (Indoor, CR 4)\n");
+    for sf in [SpreadingFactor::SF8, SpreadingFactor::SF10] {
+        let params = LoRaParams::new(sf, CodingRate::CR4);
+        let cfg = ExperimentConfig {
+            load_pps: load,
+            duration_s: args.duration_s,
+            seed: args.seed,
+            ..ExperimentConfig::new(params, Deployment::Indoor)
+        };
+        let built = build_experiment(&cfg);
+        let scheme = SchemeKind::Tnb.build(params);
+        let r = run_scheme(scheme.as_ref(), &built);
+        let usage = medium_usage(&r.decoded_intervals, cfg.duration_s, 0.05);
+        let truth = medium_usage(&built.intervals, cfg.duration_s, 0.05);
+        println!(
+            "SF {}: decoded {}/{} packets",
+            sf.value(),
+            r.matched.correct.len(),
+            r.sent
+        );
+        let series: Vec<String> = usage.iter().map(|u| u.to_string()).collect();
+        println!("  decoded-packet usage per 50 ms: [{}]", series.join(" "));
+        println!(
+            "  mean usage: decoded lower bound {:.2}, ground truth {:.2}, max {} / {}",
+            usage.iter().sum::<usize>() as f64 / usage.len().max(1) as f64,
+            truth.iter().sum::<usize>() as f64 / truth.len().max(1) as f64,
+            usage.iter().max().unwrap_or(&0),
+            truth.iter().max().unwrap_or(&0),
+        );
+    }
+    println!(
+        "\npaper: the medium can be very busy for both SFs, more so for SF 10 (longer packets)"
+    );
+}

@@ -1,0 +1,96 @@
+//! Figs. 12–14: decoded throughput vs offered load for the three
+//! deployments, SF ∈ {8, 10} × CR ∈ {1..4}, schemes TnB / CIC /
+//! AlignTrack* / LoRaPHY — the paper's headline comparison.
+//!
+//! Also prints the paper's summary statistic: the median throughput gain
+//! of TnB over CIC at the highest load, per SF.
+
+use tnb_baselines::SchemeKind;
+use tnb_bench::{ExpArgs, TablePrinter};
+use tnb_phy::{CodingRate, LoRaParams, SpreadingFactor};
+use tnb_sim::{build_experiment, run_scheme, Deployment, ExperimentConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let schemes = [
+        SchemeKind::Tnb,
+        SchemeKind::Cic,
+        SchemeKind::AlignTrack,
+        SchemeKind::LoRaPhy,
+    ];
+    let sfs = if args.quick {
+        vec![SpreadingFactor::SF8]
+    } else {
+        vec![SpreadingFactor::SF8, SpreadingFactor::SF10]
+    };
+    let crs = if args.quick {
+        vec![CodingRate::CR4]
+    } else {
+        CodingRate::ALL.to_vec()
+    };
+    let deployments = if args.quick {
+        vec![Deployment::Indoor]
+    } else {
+        Deployment::ALL.to_vec()
+    };
+
+    // Collect TnB/CIC ratios at the highest load for the summary.
+    let mut gains: std::collections::HashMap<usize, Vec<f64>> = Default::default();
+    let top_load = args.loads.iter().copied().fold(0.0f64, f64::max);
+
+    for dep in &deployments {
+        for &sf in &sfs {
+            for &cr in &crs {
+                let params = LoRaParams::new(sf, cr);
+                println!(
+                    "\n== {} | SF {} | CR {} | throughput (pkt/s) vs offered load ==",
+                    dep.name(),
+                    sf.value(),
+                    cr.value()
+                );
+                let mut t = TablePrinter::new({
+                    let mut h = vec!["load".to_string()];
+                    h.extend(schemes.iter().map(|s| s.name().to_string()));
+                    h
+                });
+                for &load in &args.loads {
+                    let mut row = vec![format!("{load}")];
+                    let mut tp = std::collections::HashMap::new();
+                    for run in 0..args.runs {
+                        let cfg = ExperimentConfig {
+                            load_pps: load,
+                            duration_s: args.duration_s,
+                            seed: args.seed + run * 1000 + load as u64,
+                            ..ExperimentConfig::new(params, *dep)
+                        };
+                        let built = build_experiment(&cfg);
+                        for kind in schemes {
+                            let r = run_scheme(kind.build(params).as_ref(), &built);
+                            *tp.entry(kind.name()).or_insert(0.0) +=
+                                r.throughput_pps / args.runs as f64;
+                        }
+                    }
+                    for kind in schemes {
+                        row.push(format!("{:.2}", tp[kind.name()]));
+                    }
+                    if (load - top_load).abs() < 1e-9 {
+                        let cic = tp["CIC"].max(1e-9);
+                        gains.entry(sf.value()).or_default().push(tp["TnB"] / cic);
+                    }
+                    t.row(row);
+                }
+                t.print();
+            }
+        }
+    }
+
+    println!("\n== summary: TnB/CIC throughput ratio at the highest load ==");
+    for (sf, mut g) in gains {
+        g.sort_by(f64::total_cmp);
+        let median = g[g.len() / 2];
+        println!(
+            "SF {sf}: median {median:.2}x over {} (deployment x CR) cells (paper: 1.36x for SF 8, 2.46x for SF 10)",
+            g.len()
+        );
+    }
+}

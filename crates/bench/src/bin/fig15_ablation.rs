@@ -1,0 +1,81 @@
+//! Fig. 15: component ablation at the highest load — full TnB vs Thrive
+//! (no BEC) vs Sibling (no history cost), with CIC for reference.
+//!
+//! The paper reports a median TnB/Thrive improvement of 1.31×, confirming
+//! BEC's contribution, and shows Sibling losing in some cases, confirming
+//! the history cost.
+
+use tnb_baselines::SchemeKind;
+use tnb_bench::{ExpArgs, TablePrinter};
+use tnb_phy::{CodingRate, LoRaParams, SpreadingFactor};
+use tnb_sim::{build_experiment, run_scheme, Deployment, ExperimentConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let load = args.loads.iter().copied().fold(0.0f64, f64::max);
+    let schemes = [
+        SchemeKind::Tnb,
+        SchemeKind::Thrive,
+        SchemeKind::Sibling,
+        SchemeKind::Cic,
+    ];
+    let sfs = if args.quick {
+        vec![SpreadingFactor::SF8]
+    } else {
+        vec![SpreadingFactor::SF8, SpreadingFactor::SF10]
+    };
+    let crs = if args.quick {
+        vec![CodingRate::CR4]
+    } else {
+        CodingRate::ALL.to_vec()
+    };
+    let deployments = if args.quick {
+        vec![Deployment::Indoor]
+    } else {
+        Deployment::ALL.to_vec()
+    };
+
+    println!("Fig. 15: throughput (pkt/s) of TnB configurations at {load} pkt/s offered\n");
+    let mut ratios: Vec<f64> = Vec::new();
+    for dep in &deployments {
+        let mut t = TablePrinter::new({
+            let mut h = vec!["SF/CR".to_string()];
+            h.extend(schemes.iter().map(|s| s.name().to_string()));
+            h
+        });
+        for &sf in &sfs {
+            for &cr in &crs {
+                let params = LoRaParams::new(sf, cr);
+                let mut tp = std::collections::HashMap::new();
+                for run in 0..args.runs {
+                    let cfg = ExperimentConfig {
+                        load_pps: load,
+                        duration_s: args.duration_s,
+                        seed: args.seed + run * 1000,
+                        ..ExperimentConfig::new(params, *dep)
+                    };
+                    let built = build_experiment(&cfg);
+                    for kind in schemes {
+                        let r = run_scheme(kind.build(params).as_ref(), &built);
+                        *tp.entry(kind.name()).or_insert(0.0) +=
+                            r.throughput_pps / args.runs as f64;
+                    }
+                }
+                let mut row = vec![format!("SF{}/CR{}", sf.value(), cr.value())];
+                for kind in schemes {
+                    row.push(format!("{:.2}", tp[kind.name()]));
+                }
+                ratios.push(tp["TnB"] / tp["Thrive"].max(1e-9));
+                t.row(row);
+            }
+        }
+        println!("== {} ==", dep.name());
+        t.print();
+        println!();
+    }
+    ratios.sort_by(f64::total_cmp);
+    println!(
+        "median TnB/Thrive improvement: {:.2}x (paper: 1.31x)",
+        ratios[ratios.len() / 2]
+    );
+}

@@ -1,0 +1,104 @@
+//! Table 1: decoding capability of the default decoder vs BEC, per CR.
+//!
+//! Monte-Carlo over random blocks with k corrupted symbols (k error
+//! columns, each bit flipped with probability 0.5 but at least one flip
+//! per column, mimicking a real corrupted symbol). A decode counts as a
+//! success when the true data is recovered — for BEC, when it is among
+//! the candidate blocks (the packet CRC identifies it, paper §6.1).
+
+use tnb_bench::TablePrinter;
+use tnb_core::bec::decode_block;
+use tnb_phy::hamming::{decode_default, encode};
+use tnb_phy::params::CodingRate;
+
+struct Xorshift(u64);
+impl Xorshift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+fn trial(rng: &mut Xorshift, cr: CodingRate, k_cols: usize, sf: usize) -> (bool, bool) {
+    let width = cr.codeword_len();
+    // k distinct random error columns.
+    let mut cols: Vec<usize> = Vec::new();
+    while cols.len() < k_cols {
+        let c = (rng.next() as usize) % width;
+        if !cols.contains(&c) {
+            cols.push(c);
+        }
+    }
+    let nibbles: Vec<u8> = (0..sf).map(|_| (rng.next() % 16) as u8).collect();
+    let mut rows: Vec<u8> = nibbles.iter().map(|&n| encode(n, cr)).collect();
+    for &c in &cols {
+        let mut any = false;
+        for row in rows.iter_mut() {
+            if rng.next() & 1 == 1 {
+                *row ^= 1 << c;
+                any = true;
+            }
+        }
+        if !any {
+            // A corrupted symbol flips at least one bit in its column.
+            let r = (rng.next() as usize) % rows.len();
+            rows[r] ^= 1 << c;
+        }
+    }
+    let default_ok = rows
+        .iter()
+        .zip(&nibbles)
+        .all(|(&r, &n)| decode_default(r, cr).nibble == n);
+    let dec = decode_block(&rows, cr);
+    let bec_ok = dec.candidates.iter().any(|c| c == &nibbles);
+    (default_ok, bec_ok)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let trials = if quick { 5_000 } else { 50_000 };
+    let sf = 8;
+    println!("Table 1: decoding capability (SF {sf}, {trials} random blocks per cell)\n");
+    let mut t = TablePrinter::new([
+        "CR",
+        "# err symbols",
+        "default success",
+        "BEC success",
+        "paper says (BEC)",
+    ]);
+    for cr in CodingRate::ALL {
+        let max_cols = match cr {
+            CodingRate::CR1 | CodingRate::CR2 => 1,
+            CodingRate::CR3 => 2,
+            CodingRate::CR4 => 3,
+        };
+        for k in 1..=max_cols {
+            let mut rng = Xorshift(0x7AB1E1 + cr.value() as u64 * 100 + k as u64);
+            let mut def = 0usize;
+            let mut bec = 0usize;
+            for _ in 0..trials {
+                let (d, b) = trial(&mut rng, cr, k, sf);
+                def += d as usize;
+                bec += b as usize;
+            }
+            let paper = match (cr, k) {
+                (CodingRate::CR1, 1) | (CodingRate::CR2, 1) => "corrects 1-symbol",
+                (CodingRate::CR3, 1) | (CodingRate::CR4, 1) => "corrects (trivially)",
+                (CodingRate::CR3, 2) => "almost all 2-symbol",
+                (CodingRate::CR4, 2) => "all 2-symbol",
+                (CodingRate::CR4, 3) => "over 96% of 3-symbol",
+                _ => "",
+            };
+            t.row([
+                format!("{}", cr.value()),
+                format!("{k}"),
+                format!("{:.4}", def as f64 / trials as f64),
+                format!("{:.4}", bec as f64 / trials as f64),
+                paper.to_string(),
+            ]);
+        }
+    }
+    t.print();
+}

@@ -1,0 +1,82 @@
+//! Table 2: BEC repair complexity — the number of BEC-fixed blocks (and
+//! therefore CRC checks) generated per block decode, measured per CR and
+//! number of error columns, against the paper's bounds.
+
+use tnb_bench::TablePrinter;
+use tnb_core::bec::decode_block;
+use tnb_phy::hamming::encode;
+use tnb_phy::params::CodingRate;
+
+struct Xorshift(u64);
+impl Xorshift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let trials = if quick { 5_000 } else { 50_000 };
+    let sf = 8;
+    println!(
+        "Table 2: BEC-fixed blocks (= CRC checks) per block decode (SF {sf}, {trials} trials)\n"
+    );
+    let mut t = TablePrinter::new([
+        "CR",
+        "# err columns",
+        "mean candidates",
+        "max candidates",
+        "paper bound",
+    ]);
+    for (cr, k, bound) in [
+        (CodingRate::CR1, 1, "5"),
+        (CodingRate::CR2, 1, "2"),
+        (CodingRate::CR3, 2, "3"),
+        (CodingRate::CR4, 2, "<=4"),
+        (CodingRate::CR4, 3, "4 (9 delta1 worst)"),
+    ] {
+        let mut rng = Xorshift(0x7AB1E2 + cr.value() as u64 * 100 + k as u64);
+        let width = cr.codeword_len();
+        let mut total = 0usize;
+        let mut max = 0usize;
+        for _ in 0..trials {
+            let mut cols: Vec<usize> = Vec::new();
+            while cols.len() < k {
+                let c = (rng.next() as usize) % width;
+                if !cols.contains(&c) {
+                    cols.push(c);
+                }
+            }
+            let nibbles: Vec<u8> = (0..sf).map(|_| (rng.next() % 16) as u8).collect();
+            let mut rows: Vec<u8> = nibbles.iter().map(|&n| encode(n, cr)).collect();
+            for &c in &cols {
+                let mut any = false;
+                for row in rows.iter_mut() {
+                    if rng.next() & 1 == 1 {
+                        *row ^= 1 << c;
+                        any = true;
+                    }
+                }
+                if !any {
+                    let r = (rng.next() as usize) % rows.len();
+                    rows[r] ^= 1 << c;
+                }
+            }
+            let dec = decode_block(&rows, cr);
+            total += dec.candidates.len();
+            max = max.max(dec.candidates.len());
+        }
+        t.row([
+            format!("{}", cr.value()),
+            format!("{k}"),
+            format!("{:.2}", total as f64 / trials as f64),
+            format!("{max}"),
+            bound.to_string(),
+        ]);
+    }
+    t.print();
+    println!("\nW limits on packet-level CRC checks (paper §6.9): CR1=125, CR2..4=16");
+}

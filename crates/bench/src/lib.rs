@@ -1,0 +1,8 @@
+//! Shared utilities for the experiment binaries in `src/bin/` (one binary
+//! per paper table/figure) and the Criterion benches in `benches/`.
+
+pub mod args;
+pub mod table;
+
+pub use args::ExpArgs;
+pub use table::TablePrinter;

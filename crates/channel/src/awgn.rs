@@ -1,0 +1,77 @@
+//! Additive white Gaussian noise.
+
+use rand::Rng;
+use tnb_dsp::Complex32;
+
+/// Draws one sample of circularly-symmetric complex Gaussian noise with
+/// total variance `power` (i.e. `power/2` per real dimension), using the
+/// Box–Muller transform (the `rand` crate alone has no normal
+/// distribution).
+pub fn complex_gaussian<R: Rng + ?Sized>(rng: &mut R, power: f32) -> Complex32 {
+    let sigma = (power / 2.0).sqrt();
+    // Box–Muller: two uniforms → two independent standard normals.
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen::<f32>();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f32::consts::PI * u2;
+    Complex32::new(r * theta.cos() * sigma, r * theta.sin() * sigma)
+}
+
+/// Adds complex AWGN with the given total noise power to `samples` in
+/// place.
+pub fn add_awgn<R: Rng + ?Sized>(rng: &mut R, samples: &mut [Complex32], power: f32) {
+    if power <= 0.0 {
+        return;
+    }
+    for s in samples.iter_mut() {
+        *s += complex_gaussian(rng, power);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noise_power_matches_target() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &power in &[0.1f32, 1.0, 4.0] {
+            let n = 200_000;
+            let mut acc = 0.0f64;
+            let mut mean = Complex32::ZERO;
+            for _ in 0..n {
+                let z = complex_gaussian(&mut rng, power);
+                acc += z.norm_sqr() as f64;
+                mean += z / n as f32;
+            }
+            let measured = acc / n as f64;
+            assert!(
+                (measured / power as f64 - 1.0).abs() < 0.02,
+                "target {power}, measured {measured}"
+            );
+            assert!(mean.abs() < 0.05 * power.sqrt());
+        }
+    }
+
+    #[test]
+    fn zero_power_is_noop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = vec![Complex32::ONE; 16];
+        add_awgn(&mut rng, &mut s, 0.0);
+        assert!(s.iter().all(|&z| z == Complex32::ONE));
+    }
+
+    #[test]
+    fn awgn_is_deterministic_per_seed() {
+        let gen = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = vec![Complex32::ZERO; 64];
+            add_awgn(&mut rng, &mut s, 1.0);
+            s
+        };
+        assert_eq!(gen(42), gen(42));
+        assert_ne!(gen(42), gen(43));
+    }
+}

@@ -1,0 +1,178 @@
+//! Deterministic signal impairments: carrier frequency offset and
+//! (fractional) timing offset.
+//!
+//! Commodity LoRa nodes have crystal-driven CFOs (the paper's simulations
+//! draw them from ±4.88 kHz) and arbitrary transmit times, so a received
+//! packet is offset by a real-valued number of samples. The integer part is
+//! handled by packet placement in the trace; the fractional part is applied
+//! here with a linear-interpolation resampler.
+
+use tnb_dsp::Complex32;
+
+/// Applies a carrier frequency offset of `cfo_hz` to `samples` (sample rate
+/// `fs` Hz) in place: sample `n` is rotated by `e^{j2π·cfo·n/fs}`.
+pub fn apply_cfo(samples: &mut [Complex32], cfo_hz: f64, fs: f64) {
+    let step = 2.0 * std::f64::consts::PI * cfo_hz / fs;
+    for (n, s) in samples.iter_mut().enumerate() {
+        *s *= Complex32::from_phase(step * n as f64);
+    }
+}
+
+/// Delays a signal by a fractional number of samples `frac` ∈ [0, 1) using
+/// linear interpolation: `out[n] = (1−frac)·x[n] + frac·x[n−1]`.
+///
+/// Returns a vector one sample longer than the input (the delayed signal's
+/// tail spills into one extra sample).
+pub fn fractional_delay(samples: &[Complex32], frac: f32) -> Vec<Complex32> {
+    assert!(
+        (0.0..1.0).contains(&frac),
+        "frac must be in [0,1), got {frac}"
+    );
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let a = 1.0 - frac;
+    let mut out = Vec::with_capacity(samples.len() + 1);
+    out.push(samples[0] * a);
+    for i in 1..samples.len() {
+        out.push(samples[i] * a + samples[i - 1] * frac);
+    }
+    out.push(*samples.last().unwrap() * frac);
+    out
+}
+
+/// Scales a signal's amplitude in place (linear factor).
+pub fn scale_amplitude(samples: &mut [Complex32], factor: f32) {
+    for s in samples.iter_mut() {
+        *s = s.scale(factor);
+    }
+}
+
+/// Applies sample-clock drift of `ppm` parts per million: the transmitter's
+/// crystal runs fast (`ppm > 0`) or slow (`ppm < 0`) relative to the
+/// receiver, so the received waveform is the transmitted one resampled at
+/// rate `1 + ppm·10⁻⁶` (linear interpolation). The same crystal drives the
+/// carrier, which is why hardware CFO and clock drift are correlated; they
+/// are exposed separately so either can be studied in isolation.
+///
+/// Output length matches the drift-stretched duration.
+pub fn apply_clock_drift(samples: &[Complex32], ppm: f64) -> Vec<Complex32> {
+    if samples.is_empty() || ppm == 0.0 {
+        return samples.to_vec();
+    }
+    let rate = 1.0 + ppm * 1e-6;
+    let out_len = ((samples.len() as f64) / rate).floor() as usize;
+    let mut out = Vec::with_capacity(out_len);
+    for n in 0..out_len {
+        let t = n as f64 * rate;
+        let i = t as usize;
+        let frac = (t - i as f64) as f32;
+        let a = samples[i.min(samples.len() - 1)];
+        let b = samples[(i + 1).min(samples.len() - 1)];
+        out.push(a * (1.0 - frac) + b * frac);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfo_rotates_at_expected_rate() {
+        let fs = 1_000_000.0;
+        let cfo = 1000.0; // 1 kHz
+        let mut s = vec![Complex32::ONE; 1001];
+        apply_cfo(&mut s, cfo, fs);
+        // After 1 ms (1000 samples at 1 Msps) the phase advanced 2π.
+        assert!((s[1000] - Complex32::ONE).abs() < 1e-3);
+        // After 0.25 ms the phase is π/2.
+        assert!((s[250] - Complex32::I).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_cfo_is_identity() {
+        let mut s = vec![Complex32::new(0.5, -0.5); 32];
+        apply_cfo(&mut s, 0.0, 1e6);
+        assert!(s
+            .iter()
+            .all(|z| (*z - Complex32::new(0.5, -0.5)).abs() < 1e-7));
+    }
+
+    #[test]
+    fn fractional_delay_zero_is_identity_padded() {
+        let s = vec![Complex32::ONE, Complex32::I];
+        let d = fractional_delay(&s, 0.0);
+        assert_eq!(d.len(), 3);
+        assert!((d[0] - Complex32::ONE).abs() < 1e-7);
+        assert!((d[1] - Complex32::I).abs() < 1e-7);
+        assert!(d[2].abs() < 1e-7);
+    }
+
+    #[test]
+    fn fractional_delay_shifts_a_tone() {
+        // A slow complex tone delayed by 0.5 samples should match the tone
+        // evaluated at n − 0.5 (linear interpolation is accurate for slow
+        // tones).
+        let n = 256;
+        let f = 0.01; // cycles per sample
+        let tone = |t: f64| Complex32::from_phase(2.0 * std::f64::consts::PI * f * t);
+        let s: Vec<Complex32> = (0..n).map(|i| tone(i as f64)).collect();
+        let d = fractional_delay(&s, 0.5);
+        for (i, &di) in d.iter().enumerate().take(n).skip(1) {
+            let expect = tone(i as f64 - 0.5);
+            assert!((di - expect).abs() < 0.01, "i={i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "frac must be in")]
+    fn out_of_range_frac_panics() {
+        fractional_delay(&[Complex32::ONE], 1.5);
+    }
+
+    #[test]
+    fn zero_drift_is_identity() {
+        let s: Vec<Complex32> = (0..64).map(|i| Complex32::new(i as f32, -1.0)).collect();
+        assert_eq!(apply_clock_drift(&s, 0.0), s);
+        assert!(apply_clock_drift(&[], 25.0).is_empty());
+    }
+
+    #[test]
+    fn drift_stretches_duration() {
+        let s = vec![Complex32::ONE; 1_000_000];
+        // A 100 ppm fast transmitter delivers its waveform in fewer
+        // receiver samples.
+        let fast = apply_clock_drift(&s, 100.0);
+        assert!((fast.len() as i64 - 999_900).abs() <= 1, "{}", fast.len());
+        let slow = apply_clock_drift(&s, -100.0);
+        assert!((slow.len() as i64 - 1_000_100).abs() <= 1, "{}", slow.len());
+    }
+
+    #[test]
+    fn drift_shifts_a_tone_frequency() {
+        // Resampling at 1+δ scales every frequency by 1+δ: a tone at bin
+        // 64 of a 4096-point window moves by a fractional bin for small
+        // ppm, measurable through the phase slope.
+        let n = 65_536usize;
+        let f = 0.01;
+        let tone: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::from_phase(2.0 * std::f64::consts::PI * f * i as f64))
+            .collect();
+        let drifted = apply_clock_drift(&tone, 1000.0); // 0.1 %
+        // After k samples the drifted tone's phase leads by 2π·f·k·δ.
+        let k = 50_000usize;
+        let expect_lead = 2.0 * std::f64::consts::PI * f * k as f64 * 1e-3;
+        let lead = (drifted[k].mul_conj(tone[k])).arg() as f64;
+        let diff = (lead - expect_lead).rem_euclid(2.0 * std::f64::consts::PI);
+        let diff = diff.min(2.0 * std::f64::consts::PI - diff);
+        assert!(diff < 0.15, "lead {lead} expect {expect_lead}");
+    }
+
+    #[test]
+    fn scale_amplitude_scales_power() {
+        let mut s = vec![Complex32::ONE; 4];
+        scale_amplitude(&mut s, 2.0);
+        assert!(s.iter().all(|z| (z.norm_sqr() - 4.0).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,16 @@
+//! Channel models and trace synthesis (substrate for the evaluation).
+//!
+//! The paper evaluates on USRP-recorded traces of 19–25 commodity LoRa
+//! nodes; this crate synthesizes equivalent traces: per-packet carrier
+//! frequency offset and timing offset, AWGN at a target SNR, optional flat
+//! Rayleigh or LTE-ETU frequency-selective fading with Jakes Doppler, and
+//! superposition of many packets (optionally on several antennas) into a
+//! single complex-sample trace with ground-truth metadata.
+
+pub mod awgn;
+pub mod fading;
+pub mod impairments;
+pub mod io;
+pub mod trace;
+
+pub use trace::{GroundTruth, Trace, TraceBuilder};

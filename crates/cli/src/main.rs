@@ -1,0 +1,42 @@
+//! `tnb-cli` — generate and decode LoRa traces from the command line.
+//!
+//! Mirrors the paper's artifact workflow (`TnBMain.m`): point the tool at
+//! a trace file and a spreading factor, get the list of decoded packets
+//! (node, sequence number, SNR, start time, CFO) and the total count.
+//!
+//! ```text
+//! tnb-cli generate --out indoor-SF8-CR3.iq16 --sf 8 --cr 3 --load 10 --duration 3
+//! tnb-cli decode   --trace indoor-SF8-CR3.iq16 --sf 8 --scheme tnb
+//! tnb-cli info     --trace indoor-SF8-CR3.iq16
+//! ```
+
+use std::process::ExitCode;
+
+mod cmd;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", cmd::USAGE);
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "generate" => cmd::generate(rest),
+        "decode" => cmd::decode(rest),
+        "compare" => cmd::compare(rest),
+        "info" => cmd::info(rest),
+        "--help" | "-h" | "help" => {
+            println!("{}", cmd::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", cmd::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

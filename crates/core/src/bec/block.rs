@@ -1,0 +1,713 @@
+//! Per-block BEC decoding (paper §6.3–§6.8): the repair methods Δ′, Δ₁,
+//! Δ₂, Δ₃ and the per-CR decoding procedures that turn one received block
+//! `R` into a list of candidate *BEC-fixed blocks*.
+
+use tnb_phy::hamming::{
+    codeword_data, codeword_matching_masked, codeword_table, companions, cr1_parity_ok,
+    decode_default,
+};
+use tnb_phy::params::CodingRate;
+
+/// Result of decoding one block.
+#[derive(Debug, Clone)]
+pub struct BlockDecode {
+    /// Candidate nibble rows, in the order they should be tried against
+    /// the packet CRC. Always non-empty; if BEC found nothing to repair
+    /// (or gave up) the single candidate is the default decode.
+    pub candidates: Vec<Vec<u8>>,
+    /// The default (per-row minimum-distance) decode, kept for the
+    /// "codewords rescued by BEC" metric.
+    pub default_nibbles: Vec<u8>,
+    /// True if BEC generated repair candidates beyond the default decode.
+    pub repaired: bool,
+}
+
+/// Bit mask of the set of columns in `cols`.
+fn cols_to_mask(cols: &[usize]) -> u8 {
+    cols.iter().fold(0u8, |m, &c| m | (1 << c))
+}
+
+/// Columns (ascending) present in a bit mask.
+fn mask_to_cols(mask: u8) -> Vec<usize> {
+    (0..8).filter(|&b| mask & (1 << b) != 0).collect()
+}
+
+/// Repair method Δ′ (CR 1 only): replace column `col` of every row with
+/// the checksum of the other four columns (paper §6.3).
+fn delta_prime(rows: &[u8], col: usize) -> Vec<u8> {
+    rows.iter()
+        .map(|&r| {
+            let others = r & 0x1F & !(1 << col);
+            let bit = (others.count_ones() & 1) as u8;
+            let fixed = (r & !(1 << col)) | (bit << col);
+            fixed & 0xF
+        })
+        .collect()
+}
+
+/// Repair method Δ₁: mask the columns in `cols` and match every row
+/// against the codewords on the remaining columns. Succeeds only if every
+/// row matches (paper §6.3). Returns the repaired nibbles.
+fn delta1(rows: &[u8], cols: &[usize], cr: CodingRate) -> Option<Vec<u8>> {
+    let mask = cols_to_mask(cols);
+    rows.iter()
+        .map(|&r| codeword_matching_masked(r, mask, cr).map(codeword_data))
+        .collect()
+}
+
+/// Repair method Δ₂ (CR 4): assume `c_k1` is a true error column; a row in
+/// `phi2` is repairable if flipping its `c_k1` bit leaves it at distance
+/// exactly 1 from a codeword; all `phi2` rows must share the same *column
+/// of mismatch* (paper §6.3). Rows not in `phi2` take their default
+/// decode. Returns the repaired nibbles and the column of mismatch.
+fn delta2(rows: &[u8], phi2: &[usize], c_k1: usize, cr: CodingRate) -> Option<(Vec<u8>, usize)> {
+    let table = codeword_table(cr);
+    let mut mismatch: Option<usize> = None;
+    let mut out: Vec<u8> = rows.iter().map(|&r| decode_default(r, cr).nibble).collect();
+    for &i in phi2 {
+        let flipped = rows[i] ^ (1 << c_k1);
+        // dmin 4 ⇒ at most one codeword within distance 1.
+        let hit = table
+            .iter()
+            .enumerate()
+            .find(|(_, &cw)| (cw ^ flipped).count_ones() == 1)?;
+        let col = (hit.1 ^ flipped).trailing_zeros() as usize;
+        match mismatch {
+            None => mismatch = Some(col),
+            Some(m) if m == col => {}
+            Some(_) => return None,
+        }
+        out[i] = hit.0 as u8;
+    }
+    mismatch.map(|m| (out, m))
+}
+
+/// The mismatch-column discovery half of Δ₂, used when testing the 3-error
+/// hypothesis (paper §6.7.2, proof of Lemma 3): returns the set of
+/// distinct columns of mismatch over `phi2` rows, or `None` if some row
+/// has no codeword at distance 1 after flipping `c_k1`.
+fn delta2_mismatch_columns(
+    rows: &[u8],
+    phi2: &[usize],
+    c_k1: usize,
+    cr: CodingRate,
+) -> Option<Vec<usize>> {
+    let table = codeword_table(cr);
+    let mut cols: Vec<usize> = Vec::new();
+    for &i in phi2 {
+        let flipped = rows[i] ^ (1 << c_k1);
+        let hit = table.iter().find(|&&cw| (cw ^ flipped).count_ones() == 1)?;
+        let col = (hit ^ flipped).trailing_zeros() as usize;
+        if !cols.contains(&col) {
+            cols.push(col);
+        }
+    }
+    cols.sort_unstable();
+    Some(cols)
+}
+
+/// Repair method Δ₃ (CR 4, `|Ξ| = 0`): flip the bits in the two
+/// hypothesised error columns of every `phi2` row; each must then equal a
+/// codeword exactly (paper §6.3).
+fn delta3(rows: &[u8], phi2: &[usize], c1: usize, c2: usize, cr: CodingRate) -> Option<Vec<u8>> {
+    let table = codeword_table(cr);
+    let mut out: Vec<u8> = rows.iter().map(|&r| decode_default(r, cr).nibble).collect();
+    for &i in phi2 {
+        let flipped = rows[i] ^ (1 << c1) ^ (1 << c2);
+        let d = table.iter().position(|&cw| cw == flipped)?;
+        out[i] = d as u8;
+    }
+    Some(out)
+}
+
+/// State shared by the per-CR decoders: the cleaned block and the
+/// difference structure of paper §6.2.
+struct DiffInfo {
+    default_nibbles: Vec<u8>,
+    /// Rows where R and Γ differ in exactly one bit.
+    phi1: Vec<usize>,
+    /// Rows where R and Γ differ in exactly two bits.
+    phi2: Vec<usize>,
+    /// Ξ: columns in which φ₁ rows differ between R and Γ (bit mask).
+    xi_mask: u8,
+    /// Per-row difference masks R ⊕ Γ.
+    diffs: Vec<u8>,
+}
+
+fn diff_info(rows: &[u8], cr: CodingRate) -> DiffInfo {
+    let mut default_nibbles = Vec::with_capacity(rows.len());
+    let mut phi1 = Vec::new();
+    let mut phi2 = Vec::new();
+    let mut xi_mask = 0u8;
+    let mut diffs = Vec::with_capacity(rows.len());
+    for (i, &r) in rows.iter().enumerate() {
+        let d = decode_default(r, cr);
+        default_nibbles.push(d.nibble);
+        let diff = r ^ d.cleaned;
+        diffs.push(diff);
+        match diff.count_ones() {
+            0 => {}
+            1 => {
+                phi1.push(i);
+                xi_mask |= diff;
+            }
+            2 => phi2.push(i),
+            _ => {}
+        }
+    }
+    DiffInfo {
+        default_nibbles,
+        phi1,
+        phi2,
+        xi_mask,
+        diffs,
+    }
+}
+
+fn single(default_nibbles: Vec<u8>) -> BlockDecode {
+    BlockDecode {
+        candidates: vec![default_nibbles.clone()],
+        default_nibbles,
+        repaired: false,
+    }
+}
+
+fn push_unique(cands: &mut Vec<Vec<u8>>, c: Vec<u8>) {
+    if !cands.contains(&c) {
+        cands.push(c);
+    }
+}
+
+/// Decodes one received block into its candidate BEC-fixed blocks
+/// (paper §6.4–§6.7).
+pub fn decode_block(rows: &[u8], cr: CodingRate) -> BlockDecode {
+    match cr {
+        CodingRate::CR1 => decode_cr1(rows),
+        CodingRate::CR2 => decode_cr2(rows),
+        CodingRate::CR3 => decode_cr3(rows),
+        CodingRate::CR4 => decode_cr4(rows),
+    }
+}
+
+/// CR 1 (paper §6.4): if every row passes the parity check, accept;
+/// otherwise repair with Δ′ on each of the 5 columns.
+fn decode_cr1(rows: &[u8]) -> BlockDecode {
+    let default_nibbles: Vec<u8> = rows.iter().map(|&r| r & 0xF).collect();
+    if rows.iter().all(|&r| cr1_parity_ok(r)) {
+        return single(default_nibbles);
+    }
+    let mut candidates = Vec::with_capacity(5);
+    for col in 0..5 {
+        push_unique(&mut candidates, delta_prime(rows, col));
+    }
+    BlockDecode {
+        candidates,
+        default_nibbles,
+        repaired: true,
+    }
+}
+
+/// CR 2 (paper §6.5): 1-column errors via the companion of Ξ.
+fn decode_cr2(rows: &[u8]) -> BlockDecode {
+    let info = diff_info(rows, CodingRate::CR2);
+    let xi = mask_to_cols(info.xi_mask);
+    if xi.is_empty() {
+        return single(info.default_nibbles);
+    }
+    if xi.len() >= 3 {
+        // More than one error column (paper §A.2): beyond CR 2's reach.
+        return single(info.default_nibbles);
+    }
+    // Candidate error columns: Ξ plus the companion of its single column.
+    let mut cols = xi.clone();
+    if cols.len() == 1 {
+        for comp in companions(&cols, CodingRate::CR2) {
+            cols.extend(comp);
+        }
+    }
+    let mut candidates = Vec::new();
+    for &c in &cols {
+        if let Some(fix) = delta1(rows, &[c], CodingRate::CR2) {
+            push_unique(&mut candidates, fix);
+        }
+    }
+    if candidates.is_empty() {
+        return single(info.default_nibbles);
+    }
+    BlockDecode {
+        candidates,
+        default_nibbles: info.default_nibbles,
+        repaired: true,
+    }
+}
+
+/// CR 3 (paper §6.6): up to 2-column errors via the companion of Ξ.
+fn decode_cr3(rows: &[u8]) -> BlockDecode {
+    let info = diff_info(rows, CodingRate::CR3);
+    let xi = mask_to_cols(info.xi_mask);
+    // Also require φ₂-style anomalies to be absent: with CR 3 every row of
+    // R is within 1 bit of Γ, so only Ξ matters.
+    if xi.is_empty() || xi.len() == 1 {
+        // No error, or a single error column the default decoder fixed.
+        return single(info.default_nibbles);
+    }
+    if xi.len() >= 4 {
+        return single(info.default_nibbles); // > 2 error columns: give up
+    }
+    // Build the 3-column candidate set: Ξ plus (if |Ξ| = 2) its companion.
+    let mut cols = xi.clone();
+    if cols.len() == 2 {
+        for comp in companions(&cols, CodingRate::CR3) {
+            cols.extend(comp);
+        }
+    }
+    cols.sort_unstable();
+    cols.dedup();
+    let mut candidates = Vec::new();
+    for i in 0..cols.len() {
+        for j in (i + 1)..cols.len() {
+            if let Some(fix) = delta1(rows, &[cols[i], cols[j]], CodingRate::CR3) {
+                push_unique(&mut candidates, fix);
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return single(info.default_nibbles);
+    }
+    BlockDecode {
+        candidates,
+        default_nibbles: info.default_nibbles,
+        repaired: true,
+    }
+}
+
+/// CR 4 (paper §6.7): 2-column errors, then 3-column errors.
+fn decode_cr4(rows: &[u8]) -> BlockDecode {
+    let info = diff_info(rows, CodingRate::CR4);
+    let xi = mask_to_cols(info.xi_mask);
+    let no_diff = info.phi1.is_empty() && info.phi2.is_empty();
+    if no_diff {
+        return single(info.default_nibbles);
+    }
+    if xi.len() == 1 && info.phi2.is_empty() {
+        // All differences in a single column: one error column, already
+        // corrected by the default decoder.
+        return single(info.default_nibbles);
+    }
+
+    // --- 2-column errors (§6.7.1), only if |Ξ| ≤ 2 ---
+    if xi.len() <= 2 {
+        let mut candidates = Vec::new();
+        match xi.len() {
+            0 => {
+                // Very rare: every erroneous row has exactly 2 errors. All
+                // φ₂ rows must share one companion group of column pairs.
+                if let Some(group) = companion_group_of_phi2(&info) {
+                    for (c1, c2) in group {
+                        if let Some(fix) = delta3(rows, &info.phi2, c1, c2, CodingRate::CR4) {
+                            push_unique(&mut candidates, fix);
+                        }
+                    }
+                }
+            }
+            1 => {
+                if let Some((fix, _)) = delta2(rows, &info.phi2, xi[0], CodingRate::CR4) {
+                    push_unique(&mut candidates, fix);
+                }
+            }
+            2 => {
+                if let Some(fix) = delta1(rows, &xi, CodingRate::CR4) {
+                    push_unique(&mut candidates, fix);
+                }
+            }
+            _ => unreachable!(),
+        }
+        if !candidates.is_empty() {
+            return BlockDecode {
+                candidates,
+                default_nibbles: info.default_nibbles,
+                repaired: true,
+            };
+        }
+    }
+
+    // --- 3-column errors (§6.7.2), only if 1 ≤ |Ξ| ≤ 4 ---
+    if xi.is_empty() || xi.len() > 4 {
+        return single(info.default_nibbles);
+    }
+    let mut candidates = Vec::new();
+    match xi.len() {
+        1 => {
+            // Discover the other error columns via the columns of mismatch
+            // (Lemma 3 guarantees 2 or 3 distinct columns).
+            if let Some(mismatches) =
+                delta2_mismatch_columns(rows, &info.phi2, xi[0], CodingRate::CR4)
+            {
+                let mut cols = vec![xi[0]];
+                cols.extend(&mismatches);
+                cols.sort_unstable();
+                cols.dedup();
+                if cols.len() == 3 {
+                    // Two mismatch columns: add the companion of all three.
+                    for comp in companions(&cols, CodingRate::CR4) {
+                        cols.extend(comp);
+                    }
+                    cols.sort_unstable();
+                    cols.dedup();
+                }
+                if cols.len() == 4 {
+                    try_all_triples(rows, &cols, &mut candidates);
+                }
+            }
+        }
+        2 => {
+            // 6 attempts: Ξ plus each other column; exactly 2 repair when
+            // there really are 3 error columns (Lemmas 1 & 2).
+            let mut thirds = Vec::new();
+            for c in 0..8usize {
+                if xi.contains(&c) {
+                    continue;
+                }
+                if let Some(fix) = delta1(rows, &[xi[0], xi[1], c], CodingRate::CR4) {
+                    push_unique(&mut candidates, fix);
+                    thirds.push(c);
+                }
+            }
+            if thirds.len() == 2 {
+                // Ξ may hold the companion pair: also try the two swaps.
+                for &keep in &xi {
+                    if let Some(fix) = delta1(rows, &[thirds[0], thirds[1], keep], CodingRate::CR4)
+                    {
+                        push_unique(&mut candidates, fix);
+                    }
+                }
+            }
+        }
+        3 | 4 => {
+            let mut cols = xi.clone();
+            if cols.len() == 3 {
+                for comp in companions(&cols, CodingRate::CR4) {
+                    cols.extend(comp);
+                }
+            }
+            cols.sort_unstable();
+            cols.dedup();
+            try_all_triples(rows, &cols, &mut candidates);
+        }
+        _ => unreachable!(),
+    }
+    if candidates.is_empty() {
+        return single(info.default_nibbles);
+    }
+    BlockDecode {
+        candidates,
+        default_nibbles: info.default_nibbles,
+        repaired: true,
+    }
+}
+
+/// Δ₁ with every 3-column combination of `cols`.
+fn try_all_triples(rows: &[u8], cols: &[usize], candidates: &mut Vec<Vec<u8>>) {
+    for i in 0..cols.len() {
+        for j in (i + 1)..cols.len() {
+            for k in (j + 1)..cols.len() {
+                if let Some(fix) = delta1(rows, &[cols[i], cols[j], cols[k]], CodingRate::CR4) {
+                    push_unique(candidates, fix);
+                }
+            }
+        }
+    }
+}
+
+/// For CR 4 with `|Ξ| = 0`: the shared companion group of all φ₂ rows'
+/// difference pairs, as 4 column pairs — or `None` if the rows disagree
+/// (paper §6.7.1).
+fn companion_group_of_phi2(info: &DiffInfo) -> Option<Vec<(usize, usize)>> {
+    let first = *info.phi2.first()?;
+    let pair = mask_to_cols(info.diffs[first]);
+    debug_assert_eq!(pair.len(), 2);
+    let mut group: Vec<(usize, usize)> = vec![(pair[0], pair[1])];
+    for comp in companions(&pair, CodingRate::CR4) {
+        group.push((comp[0], comp[1]));
+    }
+    group.sort_unstable();
+    // Every other φ₂ row's pair must belong to the same group.
+    for &i in &info.phi2[1..] {
+        let p = mask_to_cols(info.diffs[i]);
+        if p.len() != 2 || !group.contains(&(p[0], p[1])) {
+            return None;
+        }
+    }
+    Some(group)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnb_phy::hamming::encode;
+    use tnb_phy::params::CodingRate::*;
+
+    /// Encodes nibbles into clean rows.
+    fn clean_rows(nibbles: &[u8], cr: CodingRate) -> Vec<u8> {
+        nibbles.iter().map(|&n| encode(n, cr)).collect()
+    }
+
+    /// Corrupts `rows` in the given columns with the given per-row flip
+    /// patterns: `flips[i]` bit `j` set means row `i` flips column
+    /// `cols[j]`.
+    fn corrupt(rows: &mut [u8], cols: &[usize], flips: &[u8]) {
+        for (i, &f) in flips.iter().enumerate() {
+            for (j, &c) in cols.iter().enumerate() {
+                if f & (1 << j) != 0 {
+                    rows[i] ^= 1 << c;
+                }
+            }
+        }
+    }
+
+    fn has_candidate(dec: &BlockDecode, nibbles: &[u8]) -> bool {
+        dec.candidates.iter().any(|c| c == nibbles)
+    }
+
+    #[test]
+    fn clean_block_all_crs() {
+        let nib = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        for cr in CodingRate::ALL {
+            let rows = clean_rows(&nib, cr);
+            let dec = decode_block(&rows, cr);
+            assert!(!dec.repaired, "cr={cr:?}");
+            assert_eq!(dec.candidates, vec![nib.to_vec()]);
+        }
+    }
+
+    #[test]
+    fn paper_fig2_fig7_example() {
+        // Reproduce the structure of Fig. 2/Fig. 7: SF 8, CR 3, errors in
+        // columns 2 and 7 (paper's 1-indexed) = 1 and 6 here; row 7
+        // (index 6) has errors in both, other rows at most one.
+        let nib = [0x3u8, 0x5, 0x9, 0xC, 0x0, 0xF, 0x6, 0xA];
+        let mut rows = clean_rows(&nib, CR3);
+        // flips bit0 ↔ column 1, bit1 ↔ column 6.
+        let flips = [0b00u8, 0b01, 0b10, 0b01, 0b10, 0b01, 0b11, 0b10];
+        corrupt(&mut rows, &[1, 6], &flips);
+        let dec = decode_block(&rows, CR3);
+        assert!(dec.repaired);
+        // One of the candidates must be the original data, and the default
+        // decode must be wrong (row 6 had two errors).
+        assert!(has_candidate(&dec, &nib));
+        assert_ne!(dec.default_nibbles, nib.to_vec());
+        // §6.6: 3 combinations are attempted → at most 3 candidates.
+        assert!(dec.candidates.len() <= 3);
+    }
+
+    #[test]
+    fn cr1_single_column_corrected() {
+        let nib = [0u8, 1, 2, 3, 4, 5, 6, 7];
+        for bad_col in 0..5 {
+            let mut rows = clean_rows(&nib, CR1);
+            // Flip the column in a few rows (not all).
+            for i in [0usize, 2, 5] {
+                rows[i] ^= 1 << bad_col;
+            }
+            let dec = decode_block(&rows, CR1);
+            assert!(dec.repaired, "col {bad_col}");
+            assert!(has_candidate(&dec, &nib), "col {bad_col}");
+            assert!(dec.candidates.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn cr2_single_column_corrected() {
+        let nib = [7u8, 3, 12, 1, 9, 15, 2, 8];
+        for bad_col in 0..6 {
+            let mut rows = clean_rows(&nib, CR2);
+            for i in [1usize, 3, 4, 6] {
+                rows[i] ^= 1 << bad_col;
+            }
+            let dec = decode_block(&rows, CR2);
+            assert!(dec.repaired, "col {bad_col}");
+            assert!(has_candidate(&dec, &nib), "col {bad_col}");
+            assert!(dec.candidates.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn cr3_every_two_column_pattern() {
+        // Exhaustive over error column pairs; random-ish flip patterns
+        // guaranteeing at least one row with both errors and one row with
+        // a single error.
+        let nib = [0xAu8, 0x1, 0x7, 0xE, 0x4, 0xB, 0x3, 0x8];
+        for a in 0..7usize {
+            for b in (a + 1)..7 {
+                let mut rows = clean_rows(&nib, CR3);
+                let flips = [0b01u8, 0b10, 0b11, 0b01, 0b10, 0b00, 0b11, 0b01];
+                corrupt(&mut rows, &[a, b], &flips);
+                let dec = decode_block(&rows, CR3);
+                assert!(
+                    has_candidate(&dec, &nib),
+                    "cols ({a},{b}): candidates {:?}",
+                    dec.candidates
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cr4_every_two_column_pattern() {
+        let nib = [0x5u8, 0xD, 0x2, 0x9, 0x0, 0x6, 0xF, 0x4];
+        for a in 0..8usize {
+            for b in (a + 1)..8 {
+                for flips in [
+                    [0b01u8, 0b10, 0b11, 0b01, 0b10, 0b00, 0b11, 0b01],
+                    [0b11u8, 0b11, 0b11, 0b11, 0b11, 0b11, 0b11, 0b11],
+                    [0b11u8, 0b00, 0b11, 0b00, 0b11, 0b00, 0b11, 0b00],
+                    [0b10u8, 0b10, 0b10, 0b01, 0b01, 0b01, 0b10, 0b01],
+                ] {
+                    let mut rows = clean_rows(&nib, CR4);
+                    corrupt(&mut rows, &[a, b], &flips);
+                    let dec = decode_block(&rows, CR4);
+                    assert!(
+                        has_candidate(&dec, &nib),
+                        "cols ({a},{b}) flips {flips:?}: {:?}",
+                        dec.candidates
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cr4_three_column_patterns() {
+        // §6.7.2: 3-column errors with |Ξ| from 1 to 4 are correctable;
+        // sweep several triples and flip patterns and require the true
+        // data to be among the candidates in the vast majority of cases.
+        let nib = [0x5u8, 0xD, 0x2, 0x9, 0x0, 0x6, 0xF, 0x4];
+        let flip_sets: &[[u8; 8]] = &[
+            // Mixed single/double/triple errors per row → |Ξ| ≥ 1.
+            [0b001, 0b010, 0b100, 0b011, 0b101, 0b110, 0b111, 0b001],
+            [0b001, 0b001, 0b010, 0b100, 0b111, 0b011, 0b000, 0b110],
+            [0b100, 0b010, 0b001, 0b111, 0b000, 0b011, 0b101, 0b110],
+        ];
+        let mut total = 0;
+        let mut ok = 0;
+        for a in 0..8usize {
+            for b in (a + 1)..8 {
+                for c in (b + 1)..8 {
+                    for flips in flip_sets {
+                        let mut rows = clean_rows(&nib, CR4);
+                        corrupt(&mut rows, &[a, b, c], flips);
+                        let dec = decode_block(&rows, CR4);
+                        total += 1;
+                        if has_candidate(&dec, &nib) {
+                            ok += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Paper Table 1: "over 96% of 3-symbol errors" (for random error
+        // values; these fixed patterns all have |Ξ| ≥ 1 and should all
+        // decode).
+        assert!(ok as f64 / total as f64 > 0.96, "corrected {ok}/{total}");
+    }
+
+    #[test]
+    fn cr4_three_columns_all_rows_triple_fails_gracefully() {
+        // Every row flips all 3 error columns → R rows are all at distance
+        // 1 from a wrong codeword via the companion → |Ξ| = {c'}: BEC
+        // (believing 1 error column) returns the default decode. This is
+        // the Ψ₁-type residual error of Lemma 4 — it must not panic and
+        // must not claim repair success with the true data.
+        let nib = [0x5u8, 0xD, 0x2, 0x9, 0x0, 0x6, 0xF, 0x4];
+        let mut rows = clean_rows(&nib, CR4);
+        corrupt(&mut rows, &[0, 1, 2], &[0b111; 8]);
+        let dec = decode_block(&rows, CR4);
+        assert!(!has_candidate(&dec, &nib));
+    }
+
+    #[test]
+    fn cr2_three_plus_diff_columns_returns_default() {
+        // |Ξ| ≥ 3 for CR 2 means more than one error column: BEC must give
+        // up gracefully.
+        let nib = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        let mut rows = clean_rows(&nib, CR2);
+        rows[0] ^= 1 << 0;
+        rows[1] ^= 1 << 1;
+        rows[2] ^= 1 << 4;
+        rows[3] ^= 1 << 5;
+        let dec = decode_block(&rows, CR2);
+        assert!(!dec.repaired);
+        assert_eq!(dec.candidates.len(), 1);
+    }
+
+    #[test]
+    fn single_bit_error_cr3_no_bec_needed() {
+        let nib = [4u8, 4, 4, 4, 4, 4, 4, 4];
+        let mut rows = clean_rows(&nib, CR3);
+        rows[3] ^= 1 << 2;
+        let dec = decode_block(&rows, CR3);
+        assert!(!dec.repaired);
+        assert_eq!(dec.candidates, vec![nib.to_vec()]);
+    }
+
+    #[test]
+    fn cr4_xi_zero_two_column_exhaustive() {
+        // §6.7.1, |Ξ| = 0: every erroneous row has exactly 2 errors in the
+        // same two columns. Exhaustive over column pairs and several
+        // row-subset patterns — Δ₃ must always recover the data.
+        let nib = [0x1u8, 0xE, 0x6, 0xB, 0x0, 0x9, 0x4, 0xD];
+        for a in 0..8usize {
+            for b in (a + 1)..8 {
+                for pattern in [0b1010_1010u8, 0b0000_0001, 0b1111_1111, 0b0110_0110] {
+                    let mut rows = clean_rows(&nib, CR4);
+                    for (i, row) in rows.iter_mut().enumerate() {
+                        if pattern & (1 << i) != 0 {
+                            *row ^= (1 << a) | (1 << b);
+                        }
+                    }
+                    let dec = decode_block(&rows, CR4);
+                    assert!(
+                        has_candidate(&dec, &nib),
+                        "cols ({a},{b}) pattern {pattern:#b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cr2_exhaustive_single_column_all_row_subsets() {
+        // CR 2, single error column, every non-empty row subset of a
+        // 7-row block: BEC must always include the true data.
+        let nib = [0x2u8, 0x7, 0xC, 0x5, 0x8, 0xF, 0x3];
+        for col in 0..6usize {
+            for pattern in 1u8..128 {
+                let mut rows = clean_rows(&nib, CR2);
+                for (i, row) in rows.iter_mut().enumerate() {
+                    if pattern & (1 << i) != 0 {
+                        *row ^= 1 << col;
+                    }
+                }
+                let dec = decode_block(&rows, CR2);
+                assert!(
+                    has_candidate(&dec, &nib),
+                    "col {col} pattern {pattern:#b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sf_sized_blocks_supported() {
+        // Blocks have SF rows (7..=12); make sure nothing assumes 8.
+        for rows_n in [7usize, 10, 12] {
+            let nib: Vec<u8> = (0..rows_n).map(|i| (i % 16) as u8).collect();
+            let mut rows = clean_rows(&nib, CR4);
+            rows[0] ^= 0b11; // 2 errors in row 0
+            rows[1] ^= 0b01;
+            rows[2] ^= 0b10;
+            let dec = decode_block(&rows, CR4);
+            assert!(has_candidate(&dec, &nib), "rows={rows_n}");
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! Packet detection, steps 1–3 (paper §7).
+//!
+//! 1. Scan the trace in symbol-length windows; runs of consecutive windows
+//!    whose signal vector peaks at the same bin reveal a preamble (the 8
+//!    identical upchirps make *every* window fully inside the preamble
+//!    peak at the same bin, regardless of alignment).
+//! 2. Validate each candidate with whole-symbol adjustments of −2T..2T:
+//!    the two full downchirp windows must produce consistent peaks (this
+//!    also resolves start-time errors that are multiples of T).
+//! 3. Coarse timing and CFO from the up/down peak locations `x₁`, `x₂`
+//!    (after \[25\]): timing error `= U·(x₁ − x₂)/2` samples and CFO
+//!    `= (x₁ + x₂)/2` bins — an upchirp window offset by `e` samples peaks
+//!    at `e/U + δ` while a downchirp window peaks at `−e/U + δ`.
+//!
+//! Step 4 (fractional timing/CFO) lives in [`crate::sync`].
+
+use crate::packet::DetectedPacket;
+use crate::sync::{fractional_sync, SyncConfig};
+
+use tnb_dsp::{find_peaks, Complex32, PeakFinderConfig};
+use tnb_phy::demodulate::Demodulator;
+use tnb_phy::params::LoRaParams;
+
+/// Tunables for packet detection.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// Minimum run of consecutive same-bin windows to accept a preamble.
+    /// The 8 upchirps guarantee 7 fully-contained windows.
+    pub min_run: usize,
+    /// A peak must exceed this multiple of the window's median bin value.
+    pub peak_median_factor: f32,
+    /// Maximum allowed |CFO| in Hz (paper: "the relaxation is determined
+    /// by the maximum allowable CFO"; its simulations draw CFOs from
+    /// ±4.88 kHz). Converted to bins per spreading factor internally.
+    pub max_cfo_hz: f64,
+    /// Keep at most this many peaks per scan window.
+    pub max_scan_peaks: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            min_run: 5,
+            peak_median_factor: 10.0,
+            max_cfo_hz: 6000.0,
+            max_scan_peaks: 8,
+        }
+    }
+}
+
+/// A preamble candidate from step 1: a run of windows peaking at one bin.
+#[derive(Debug, Clone, Copy)]
+struct PreambleRun {
+    /// First window index of the run.
+    first_window: usize,
+    /// Peak bin the run was tracked at.
+    bin: usize,
+    /// Run length in windows.
+    len: usize,
+}
+
+/// The packet detector (steps 1–4 composed).
+#[derive(Debug)]
+pub struct Detector {
+    params: LoRaParams,
+    demod: Demodulator,
+    cfg: DetectorConfig,
+}
+
+impl Detector {
+    /// Builds a detector with default configuration.
+    pub fn new(params: LoRaParams) -> Self {
+        Self::with_config(params, DetectorConfig::default())
+    }
+
+    /// Builds a detector with a custom configuration.
+    pub fn with_config(params: LoRaParams, cfg: DetectorConfig) -> Self {
+        Detector {
+            demod: Demodulator::new(params),
+            params,
+            cfg,
+        }
+    }
+
+    /// The demodulator (shared with later pipeline stages).
+    pub fn demodulator(&self) -> &Demodulator {
+        &self.demod
+    }
+
+    /// Detects all packets in `samples`, returning their synchronized
+    /// start times and CFOs sorted by start time.
+    pub fn detect(&self, samples: &[Complex32]) -> Vec<DetectedPacket> {
+        let mut out: Vec<DetectedPacket> = Vec::new();
+        for run in self.scan_preambles(samples) {
+            if std::env::var("TNB_DEBUG_DETECT").is_ok() {
+                eprintln!(
+                    "DBG run first_window={} bin={} len={}",
+                    run.first_window, run.bin, run.len
+                );
+            }
+            if let Some(p) = self.validate_and_sync(samples, &run) {
+                // Deduplicate: two runs (e.g. split by a collision glitch)
+                // can describe the same preamble.
+                let dup = out.iter().any(|q| {
+                    (q.start - p.start).abs() < self.params.samples_per_symbol() as f64 / 4.0
+                        && (q.cfo_cycles - p.cfo_cycles).abs() < 1.5
+                });
+                if !dup {
+                    out.push(p);
+                }
+            }
+        }
+        out.sort_by(|a, b| a.start.total_cmp(&b.start));
+        out
+    }
+
+    /// Step 1: scan for runs of same-bin peaks across consecutive windows.
+    fn scan_preambles(&self, samples: &[Complex32]) -> Vec<PreambleRun> {
+        let l = self.params.samples_per_symbol();
+        let n = self.params.n() as i64;
+        let n_windows = samples.len() / l;
+        let mut finished: Vec<PreambleRun> = Vec::new();
+
+        /// An in-progress run of same-bin peaks.
+        struct Run {
+            bin: usize,
+            first: usize,
+            last: usize,
+            len: usize,
+        }
+        let mut active: Vec<Run> = Vec::new();
+
+        let finder_cfg = PeakFinderConfig {
+            circular: true,
+            max_peaks: Some(self.cfg.max_scan_peaks),
+            ..PeakFinderConfig::default()
+        };
+
+        for w in 0..n_windows {
+            let y = self.demod.signal_vector(&samples[w * l..(w + 1) * l], 0.0);
+            let median = tnb_dsp::stats::median(&y);
+            let thresh = median * self.cfg.peak_median_factor;
+            let peaks: Vec<usize> = find_peaks(&y, &finder_cfg)
+                .into_iter()
+                .filter(|p| p.height > thresh)
+                .map(|p| p.index)
+                .collect();
+
+            let mut consumed = vec![false; peaks.len()];
+            for run in active.iter_mut() {
+                if let Some(pi) = peaks
+                    .iter()
+                    .position(|&b| bins_close(b as i64, run.bin as i64, n, 1))
+                {
+                    run.bin = peaks[pi];
+                    run.last = w;
+                    run.len += 1;
+                    consumed[pi] = true;
+                }
+            }
+            // Finalize runs that were not extended in this window.
+            let min_run = self.cfg.min_run;
+            active.retain(|run| {
+                if run.last == w {
+                    return true;
+                }
+                if run.len >= min_run {
+                    finished.push(PreambleRun {
+                        first_window: run.first,
+                        bin: run.bin,
+                        len: run.len,
+                    });
+                }
+                false
+            });
+            // Unconsumed peaks open new runs.
+            for (pi, &b) in peaks.iter().enumerate() {
+                if !consumed[pi] {
+                    active.push(Run {
+                        bin: b,
+                        first: w,
+                        last: w,
+                        len: 1,
+                    });
+                }
+            }
+        }
+        for run in active {
+            if run.len >= self.cfg.min_run {
+                finished.push(PreambleRun {
+                    first_window: run.first,
+                    bin: run.bin,
+                    len: run.len,
+                });
+            }
+        }
+        // Longer runs first on ties: they are the more trustworthy
+        // preamble evidence when two runs start in the same window.
+        finished.sort_by_key(|r| (r.first_window, usize::MAX - r.len));
+        finished
+    }
+
+    /// Steps 2–4 for one preamble run: whole-symbol validation, coarse
+    /// timing/CFO, then the fractional search.
+    fn validate_and_sync(
+        &self,
+        samples: &[Complex32],
+        run: &PreambleRun,
+    ) -> Option<DetectedPacket> {
+        let l = self.params.samples_per_symbol() as i64;
+        let u = self.params.osf as i64;
+        let n = self.params.n() as i64;
+
+        // Preliminary start (step 2), assuming zero CFO.
+        let p0 = run.first_window as i64 * l - run.bin as i64 * u;
+
+        let mut best: Option<(f32, i64, f64)> = None; // (score, start, cfo)
+        for k in -2i64..=2 {
+            let p = p0 + k * l;
+            if p + 13 * l > samples.len() as i64 {
+                continue;
+            }
+            // Upchirp peaks from three windows well inside the preamble.
+            // These windows are aligned to the candidate start, so this
+            // preamble's peak sits near bin 0, displaced only by the CFO —
+            // search that neighbourhood rather than taking the window
+            // maximum, which a stronger colliding packet would hijack.
+            let max_cfo_bins = (self.cfg.max_cfo_hz / self.params.bin_hz()).ceil() as i64 + 1;
+            // Median over five windows: a colliding packet's payload peak
+            // can outshine this preamble near bin 0 in any single window,
+            // but not in the majority of them.
+            let mut bins: Vec<i64> = Vec::with_capacity(5);
+            let mut heights: Vec<f32> = Vec::with_capacity(5);
+            let mut ok = true;
+            for j in 1i64..=5 {
+                match self.peak_near(samples, p + j * l, false, 0, max_cfo_bins) {
+                    Some((bin, h)) => {
+                        bins.push(center(bin, n));
+                        heights.push(h);
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            bins.sort_unstable();
+            let x1 = bins[bins.len() / 2].rem_euclid(n);
+            heights.sort_by(f32::total_cmp);
+            let up_h = heights[heights.len() / 2];
+            // Two full downchirp windows (also rejects ±T start errors:
+            // only the true alignment puts full downchirps in both). The
+            // downchirp bin is unknown a priori; consider every peak of
+            // the first window that (a) repeats in the second and (b)
+            // yields a CFO within bounds, and keep the strongest.
+            let down_a = self.window_peaks(samples, p + 10 * l, true);
+            let down_b = self.window_peaks(samples, p + 11 * l, true);
+            let (Some(down_a), Some(down_b)) = (down_a, down_b) else {
+                continue;
+            };
+            let c1 = center(x1, n);
+            let mut best_down: Option<(f32, i64)> = None; // (score, x2)
+            for pa in &down_a {
+                let Some(pb) = down_b
+                    .iter()
+                    .find(|pb| bins_close(pb.index as i64, pa.index as i64, n, 1))
+                else {
+                    continue;
+                };
+                let c2 = center(pa.index as i64, n);
+                let cfo = (c1 + c2) as f64 / 2.0;
+                if cfo.abs() * self.params.bin_hz() > self.cfg.max_cfo_hz {
+                    continue;
+                }
+                let score = pa.height.min(pb.height);
+                if best_down.map(|(s, _)| score > s).unwrap_or(true) {
+                    best_down = Some((score, pa.index as i64));
+                }
+            }
+            let Some((score, x2)) = best_down else {
+                if std::env::var("TNB_DEBUG_DETECT").is_ok() {
+                    eprintln!(
+                        "DBG k={k} x1={x1} up_h={up_h:.0} no consistent down peak: a={:?} b={:?}",
+                        down_a
+                            .iter()
+                            .map(|p| (p.index, p.height as i64))
+                            .collect::<Vec<_>>(),
+                        down_b
+                            .iter()
+                            .map(|p| (p.index, p.height as i64))
+                            .collect::<Vec<_>>()
+                    );
+                }
+                continue;
+            };
+            // Downchirp height vs upchirp height must be comparable — a
+            // spurious "downchirp" from noise or a colliding upchirp is
+            // weak.
+            if score < up_h * 0.2 {
+                if std::env::var("TNB_DEBUG_DETECT").is_ok() {
+                    eprintln!("DBG k={k} score {score:.0} < 0.2*up_h {up_h:.0}");
+                }
+                continue;
+            }
+            let c2 = center(x2, n);
+            let cfo = (c1 + c2) as f64 / 2.0;
+            let timing_err = u * (c1 - c2) / 2; // samples
+            let start = p - timing_err;
+            if best.map(|(s, _, _)| score > s).unwrap_or(true) {
+                best = Some((score, start, cfo));
+            }
+        }
+
+        if std::env::var("TNB_DEBUG_DETECT").is_ok() {
+            eprintln!("DBG best={:?}", best.map(|(s, st, c)| (s as i64, st, c)));
+        }
+        let (_, s_coarse, cfo_est) = best?;
+        if s_coarse < 0 {
+            return None;
+        }
+        // Step 4: fractional timing and CFO around the integer-bin CFO.
+        let cfo_int = cfo_est.round();
+        fractional_sync(
+            samples,
+            &self.demod,
+            s_coarse,
+            cfo_int,
+            &SyncConfig::default(),
+        )
+    }
+
+    /// Signal vector of one window, processed with the downchirp
+    /// (`down = false`, for upchirps) or the upchirp (`down = true`, for
+    /// downchirps). `None` when the window runs off the trace.
+    fn window_vector(&self, samples: &[Complex32], start: i64, down: bool) -> Option<Vec<f32>> {
+        let l = self.params.samples_per_symbol();
+        if start < 0 || start as usize + l > samples.len() {
+            return None;
+        }
+        let w = &samples[start as usize..start as usize + l];
+        Some(if down {
+            self.demod.signal_vector_down(w, 0.0)
+        } else {
+            self.demod.signal_vector(w, 0.0)
+        })
+    }
+
+    /// Top peaks of one window (circular peak finding, capped).
+    fn window_peaks(
+        &self,
+        samples: &[Complex32],
+        start: i64,
+        down: bool,
+    ) -> Option<Vec<tnb_dsp::Peak>> {
+        let y = self.window_vector(samples, start, down)?;
+        let cfg = PeakFinderConfig {
+            circular: true,
+            max_peaks: Some(self.cfg.max_scan_peaks),
+            ..PeakFinderConfig::default()
+        };
+        Some(find_peaks(&y, &cfg))
+    }
+
+    /// The signal-vector value and bin of the strongest bin within `tol`
+    /// of `expect` in one window (reads the raw vector, so a peak
+    /// overshadowed by a stronger colliding peak is still found).
+    fn peak_near(
+        &self,
+        samples: &[Complex32],
+        start: i64,
+        down: bool,
+        expect: i64,
+        tol: i64,
+    ) -> Option<(i64, f32)> {
+        let y = self.window_vector(samples, start, down)?;
+        let n = y.len() as i64;
+        let mut best: Option<(i64, f32)> = None;
+        for d in -tol..=tol {
+            let bin = (expect + d).rem_euclid(n);
+            let h = y[bin as usize];
+            if best.map(|(_, bh)| h > bh).unwrap_or(true) {
+                best = Some((bin, h));
+            }
+        }
+        best
+    }
+}
+
+/// Maps a bin in `[0, n)` to the centred range `[−n/2, n/2)`.
+pub(crate) fn center(x: i64, n: i64) -> i64 {
+    ((x + n / 2).rem_euclid(n)) - n / 2
+}
+
+/// True if two bins are within `tol` of each other modulo `n`.
+fn bins_close(a: i64, b: i64, n: i64, tol: i64) -> bool {
+    center(a - b, n).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_maps_to_half_open_range() {
+        assert_eq!(center(0, 256), 0);
+        assert_eq!(center(255, 256), -1);
+        assert_eq!(center(128, 256), -128);
+        assert_eq!(center(127, 256), 127);
+        assert_eq!(center(-1, 256), -1);
+    }
+
+    #[test]
+    fn bins_close_wraps() {
+        assert!(bins_close(0, 255, 256, 1));
+        assert!(bins_close(255, 0, 256, 1));
+        assert!(!bins_close(0, 250, 256, 2));
+    }
+}

@@ -1,0 +1,19 @@
+//! The TnB LoRa collision decoder (the paper's contribution).
+//!
+//! Pipeline (paper Fig. 3): packet detection → per-packet signal-vector
+//! calculation → **Thrive** peak assignment → **BEC** block error
+//! correction, composed into [`TnbReceiver`].
+
+pub mod bec;
+pub mod detect;
+pub mod packet;
+pub mod receiver;
+pub mod sigcalc;
+pub mod streaming;
+pub mod sync;
+pub mod thrive;
+
+pub use detect::{Detector, DetectorConfig};
+pub use packet::{DecodedPacket, DetectedPacket};
+pub use receiver::{DecodeReport, TnbConfig, TnbReceiver};
+pub use streaming::{StreamingConfig, StreamingReceiver};

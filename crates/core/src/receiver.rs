@@ -1,0 +1,515 @@
+//! The end-to-end TnB receiver (paper Fig. 3): detection → signal
+//! calculation → Thrive → BEC, with the second decoding pass of §4
+//! (failed packets are re-examined with the peaks of decoded packets
+//! masked).
+
+use crate::bec;
+use crate::detect::{Detector, DetectorConfig};
+use crate::packet::{DecodedPacket, DetectedPacket};
+use crate::sigcalc::{estimate_snr_db, SigCalc};
+use crate::thrive::{assign_checkpoint, CheckpointSymbol, HistoryModel, ThriveConfig};
+use tnb_dsp::Complex32;
+use tnb_phy::block;
+use tnb_phy::decoder as phy_decoder;
+use tnb_phy::header::Header;
+use tnb_phy::params::LoRaParams;
+
+/// Receiver configuration. The defaults are full TnB; the paper's
+/// ablations map to:
+/// - "Thrive" (no BEC): `use_bec = false`;
+/// - "Sibling" (no history cost): `thrive.use_history = false`.
+#[derive(Debug, Clone, Copy)]
+pub struct TnbConfig {
+    /// Detection tunables.
+    pub detector: DetectorConfig,
+    /// Thrive tunables.
+    pub thrive: ThriveConfig,
+    /// Decode blocks with BEC (true) or the default Hamming decoder.
+    pub use_bec: bool,
+    /// Run the second decoding pass over failed packets.
+    pub two_pass: bool,
+    /// Known noise power of the trace (per complex sample). When set, SNR
+    /// estimates use the exact peak/noise relation; when `None`, a blind
+    /// median-based estimate is used (compresses above ≈ 14 dB).
+    pub noise_power: Option<f32>,
+}
+
+impl Default for TnbConfig {
+    fn default() -> Self {
+        TnbConfig {
+            detector: DetectorConfig::default(),
+            thrive: ThriveConfig::default(),
+            use_bec: true,
+            two_pass: true,
+            noise_power: Some(1.0),
+        }
+    }
+}
+
+/// Per-trace decode diagnostics (what happened to every detected
+/// packet), returned by [`TnbReceiver::decode_with_report`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeReport {
+    /// Packets found by detection/synchronization.
+    pub detected: usize,
+    /// Packets whose payload passed the CRC.
+    pub decoded: usize,
+    /// Packets decoded only in the second pass (after masking).
+    pub second_pass_rescues: usize,
+    /// Packets whose PHY header never decoded.
+    pub header_failures: usize,
+    /// Packets with a valid header whose payload failed the CRC.
+    pub payload_failures: usize,
+    /// Packets that ran off the end of the trace.
+    pub truncated: usize,
+}
+
+/// The TnB receiver.
+#[derive(Debug)]
+pub struct TnbReceiver {
+    params: LoRaParams,
+    cfg: TnbConfig,
+    /// Diagnostics of the most recent decode (interior mutability keeps
+    /// the decode API `&self`).
+    last_report: std::cell::Cell<Option<DecodeReport>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Active,
+    Decoded,
+    Failed,
+}
+
+/// Per-packet tracking state across the checkpoint loop.
+struct Tracked {
+    det: DetectedPacket,
+    data_start: i64,
+    /// Total data symbols (known once the header is decoded).
+    n_symbols: Option<usize>,
+    values: Vec<Option<u16>>,
+    history: HistoryModel,
+    header: Option<(Header, Vec<Vec<u8>>)>,
+    status: Status,
+    snr_db: f32,
+    rescued: usize,
+    pass: u8,
+    /// CRC-validated payload (set when `status == Decoded`).
+    decoded_payload: Vec<u8>,
+    /// Re-encoded transmitted symbols of a decoded packet, for masking in
+    /// the second pass.
+    known_symbols: Option<Vec<u16>>,
+    /// Where the most recent failure happened (for diagnostics).
+    failure: Failure,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Failure {
+    None,
+    Header,
+    Payload,
+    Truncated,
+}
+
+impl TnbReceiver {
+    /// Builds a receiver with default configuration (full TnB).
+    pub fn new(params: LoRaParams) -> Self {
+        Self::with_config(params, TnbConfig::default())
+    }
+
+    /// Builds a receiver with a custom configuration.
+    pub fn with_config(params: LoRaParams, cfg: TnbConfig) -> Self {
+        TnbReceiver {
+            params,
+            cfg,
+            last_report: std::cell::Cell::new(None),
+        }
+    }
+
+    /// Decodes a single-antenna trace.
+    pub fn decode(&self, samples: &[Complex32]) -> Vec<DecodedPacket> {
+        self.decode_multi(&[samples])
+    }
+
+    /// Like [`Self::decode`], additionally returning per-trace
+    /// diagnostics.
+    pub fn decode_with_report(&self, samples: &[Complex32]) -> (Vec<DecodedPacket>, DecodeReport) {
+        let decoded = self.decode_multi(&[samples]);
+        let report = self.last_report.take().unwrap_or_default();
+        (decoded, report)
+    }
+
+    /// Decodes a multi-antenna trace. Detection runs on *every* antenna
+    /// and the candidate lists are merged — under fading this is where
+    /// antenna diversity pays (paper §8.5: "high channel fluctuations
+    /// result in a high outage probability for single antenna systems");
+    /// signal vectors are then summed over all antennas.
+    pub fn decode_multi(&self, antennas: &[&[Complex32]]) -> Vec<DecodedPacket> {
+        assert!(!antennas.is_empty());
+        let detector = Detector::with_config(self.params, self.cfg.detector);
+        let l = self.params.samples_per_symbol() as f64;
+        let mut detected: Vec<DetectedPacket> = Vec::new();
+        for ant in antennas {
+            for p in detector.detect(ant) {
+                let dup = detected.iter().any(|q| {
+                    (q.start - p.start).abs() < l / 4.0 && (q.cfo_cycles - p.cfo_cycles).abs() < 1.5
+                });
+                if !dup {
+                    detected.push(p);
+                }
+            }
+        }
+        detected.sort_by(|a, b| a.start.total_cmp(&b.start));
+        self.decode_detected(&detected, detector.demodulator(), antennas)
+    }
+
+    /// Decodes given pre-detected packets (used by the evaluation harness
+    /// to share detection across schemes).
+    pub fn decode_detected(
+        &self,
+        detected: &[DetectedPacket],
+        demod: &tnb_phy::demodulate::Demodulator,
+        antennas: &[&[Complex32]],
+    ) -> Vec<DecodedPacket> {
+        let mut sig = SigCalc::new(demod, antennas);
+
+        let mut tracked: Vec<Tracked> = detected
+            .iter()
+            .enumerate()
+            .map(|(id, det)| {
+                let heights = sig.preamble_heights(id, det);
+                let data_start = sig.symbol_start(det, 0);
+                // SNR estimate from a preamble window (peak near bin 0).
+                let snr_db = sig
+                    .symbol_vector(id, det, -12)
+                    .map(|v| {
+                        let n = v.len();
+                        let peak_bin = (0..n).max_by(|&a, &b| v[a].total_cmp(&v[b])).unwrap_or(0);
+                        match self.cfg.noise_power {
+                            Some(np) => crate::sigcalc::snr_from_peak_db(
+                                v[peak_bin],
+                                self.params.samples_per_symbol(),
+                                np,
+                            ),
+                            None => estimate_snr_db(v, peak_bin, self.params.samples_per_symbol()),
+                        }
+                    })
+                    .unwrap_or(f32::NEG_INFINITY);
+                Tracked {
+                    det: *det,
+                    data_start,
+                    n_symbols: None,
+                    values: vec![None; LoRaParams::HEADER_SYMBOLS],
+                    history: HistoryModel::new(heights),
+                    header: None,
+                    status: Status::Active,
+                    snr_db,
+                    rescued: 0,
+                    pass: 1,
+                    decoded_payload: Vec::new(),
+                    known_symbols: None,
+                    failure: Failure::None,
+                }
+            })
+            .collect();
+
+        // Pass 1: everything participates; known peaks are the preambles.
+        self.run_pass(&mut sig, &mut tracked, antennas[0].len() as i64, 1);
+
+        if self.cfg.two_pass && tracked.iter().any(|t| t.status == Status::Failed) {
+            // Pass 2: re-examine failures with decoded packets' peaks
+            // masked and the history curve fitted over all observations.
+            for t in tracked.iter_mut() {
+                if t.status == Status::Failed {
+                    t.status = Status::Active;
+                    t.pass = 2;
+                    // Keep a successfully decoded header (and the implied
+                    // length); reset all symbol values.
+                    for v in t.values.iter_mut() {
+                        *v = None;
+                    }
+                }
+            }
+            self.run_pass(&mut sig, &mut tracked, antennas[0].len() as i64, 2);
+        }
+
+        let report = DecodeReport {
+            detected: tracked.len(),
+            decoded: tracked
+                .iter()
+                .filter(|t| t.status == Status::Decoded)
+                .count(),
+            second_pass_rescues: tracked
+                .iter()
+                .filter(|t| t.status == Status::Decoded && t.pass == 2)
+                .count(),
+            header_failures: tracked
+                .iter()
+                .filter(|t| t.failure == Failure::Header && t.status == Status::Failed)
+                .count(),
+            payload_failures: tracked
+                .iter()
+                .filter(|t| t.failure == Failure::Payload && t.status == Status::Failed)
+                .count(),
+            truncated: tracked
+                .iter()
+                .filter(|t| t.failure == Failure::Truncated && t.status == Status::Failed)
+                .count(),
+        };
+        self.last_report.set(Some(report));
+        tracked
+            .into_iter()
+            .filter(|t| t.status == Status::Decoded)
+            .map(|t| {
+                let (header, _) = t.header.expect("decoded packets have headers");
+                DecodedPacket {
+                    payload: t.decoded_payload.clone(),
+                    header,
+                    start: t.det.start,
+                    cfo_cycles: t.det.cfo_cycles,
+                    snr_db: t.snr_db,
+                    rescued_codewords: t.rescued,
+                    pass: t.pass,
+                }
+            })
+            .collect()
+    }
+
+    fn run_pass(&self, sig: &mut SigCalc<'_>, tracked: &mut [Tracked], trace_len: i64, pass: u8) {
+        let l = self.params.samples_per_symbol() as i64;
+        if tracked.is_empty() {
+            return;
+        }
+        let c_start = tracked
+            .iter()
+            .filter(|t| t.status == Status::Active)
+            .map(|t| t.data_start.div_euclid(l))
+            .min()
+            .unwrap_or(0)
+            .max(0);
+        let c_end = trace_len / l + 1;
+        let dets: Vec<DetectedPacket> = tracked.iter().map(|t| t.det).collect();
+
+        for c in c_start..=c_end {
+            let t_now = c * l;
+            // Which (packet, symbol) pairs intersect this checking point?
+            let mut slots: Vec<(usize, isize)> = Vec::new();
+            for (i, tr) in tracked.iter().enumerate() {
+                if tr.status != Status::Active {
+                    continue;
+                }
+                let j = (t_now - tr.data_start).div_euclid(l);
+                let limit = tr.n_symbols.unwrap_or(LoRaParams::HEADER_SYMBOLS) as i64;
+                if j >= 0 && j < limit && tr.values[j as usize].is_none() {
+                    slots.push((i, j as isize));
+                }
+            }
+            if slots.is_empty() {
+                if tracked.iter().all(|t| t.status != Status::Active) {
+                    break;
+                }
+                continue;
+            }
+
+            // Build checkpoint symbols with masks and history bounds.
+            let symbols: Vec<CheckpointSymbol> = slots
+                .iter()
+                .map(|&(i, j)| CheckpointSymbol {
+                    packet: i,
+                    symbol: j,
+                    masked_bins: self.known_masks(tracked, i, j),
+                    bounds: if pass == 1 {
+                        tracked[i].history.bounds(&self.cfg.thrive)
+                    } else {
+                        let idx = LoRaParams::PREAMBLE_UPCHIRPS + j as usize;
+                        tracked[i].history.bounds_at(idx, &self.cfg.thrive)
+                    },
+                })
+                .collect();
+
+            let assignments = assign_checkpoint(sig, &dets, &symbols, &self.cfg.thrive);
+            for a in &assignments {
+                let (i, j) = slots[a.slot];
+                let tr = &mut tracked[i];
+                tr.values[j as usize] = Some(a.bin);
+                if pass == 1 {
+                    tr.history.push(a.height);
+                }
+            }
+
+            // Header decode for packets that just completed symbol 7.
+            for &(i, j) in &slots {
+                if j as usize == LoRaParams::HEADER_SYMBOLS - 1 {
+                    self.try_decode_header(&mut tracked[i], trace_len, l);
+                }
+            }
+            // Payload decode for packets whose last symbol was assigned.
+            for &(i, _) in &slots {
+                self.try_decode_payload(&mut tracked[i]);
+            }
+        }
+
+        // Anything still active did not complete (e.g. ran off the trace).
+        for tr in tracked.iter_mut() {
+            if tr.status == Status::Active {
+                if tr.failure == Failure::None {
+                    tr.failure = Failure::Truncated;
+                }
+                tr.status = Status::Failed;
+            }
+        }
+    }
+
+    /// Expected bins, in packet `i`'s symbol-`j` vector, of all *known*
+    /// transmissions of other packets overlapping that window: their
+    /// preamble upchirps and sync symbols, and — once decoded — their data
+    /// symbols (paper §5.3.4 and §4, second pass).
+    fn known_masks(&self, tracked: &[Tracked], i: usize, j: isize) -> Vec<i64> {
+        let params = self.params;
+        let l = params.samples_per_symbol() as f64;
+        let u = params.osf as f64;
+        let n = params.n() as i64;
+        // Exact (fractional) window start of the target symbol. A known
+        // chirp with value `v`, boundary `a` and CFO `δ_q`, seen in a
+        // window starting at `w` processed with CFO `δ_i`, peaks at
+        // `v + (w − a)/U + δ_q − δ_i (mod N)`. Note the preamble is 12.25
+        // symbols, so boundary differences are generally NOT multiples of
+        // the symbol length — the bins must be computed from the actual
+        // emission times.
+        let w_i = tracked[i].det.start + (params.preamble_symbols() + j as f64) * l;
+        let delta_i = tracked[i].det.cfo_cycles;
+        let mut out = Vec::new();
+        for (q, other) in tracked.iter().enumerate() {
+            if q == i {
+                continue;
+            }
+            let delta_q = other.det.cfo_cycles;
+            let mut push = |emit_start: f64, value: u16| {
+                if (emit_start - w_i).abs() < l {
+                    let bin = value as f64 + (w_i - emit_start) / u + delta_q - delta_i;
+                    out.push((bin.round() as i64).rem_euclid(n));
+                }
+            };
+            // Preamble upchirps (value 0) and sync symbols.
+            let p_start = other.det.start;
+            for k in 0..LoRaParams::PREAMBLE_UPCHIRPS {
+                push(p_start + k as f64 * l, 0);
+            }
+            for (k, &v) in LoRaParams::SYNC_VALUES.iter().enumerate() {
+                push(p_start + (LoRaParams::PREAMBLE_UPCHIRPS + k) as f64 * l, v);
+            }
+            // Decoded packets: all their data symbols are known.
+            if other.status == Status::Decoded {
+                if let Some(symbols) = &other.known_symbols {
+                    let d_start = p_start + params.preamble_symbols() * l;
+                    for (k, &v) in symbols.iter().enumerate() {
+                        push(d_start + k as f64 * l, v);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn try_decode_header(&self, tr: &mut Tracked, trace_len: i64, l: i64) {
+        if tr.header.is_some() && tr.n_symbols.is_some() {
+            return; // kept from pass 1
+        }
+        let header_syms: Option<Vec<u16>> = tr.values[..LoRaParams::HEADER_SYMBOLS]
+            .iter()
+            .copied()
+            .collect();
+        let Some(hs) = header_syms else { return };
+        let decoded = if self.cfg.use_bec {
+            bec::decode_header_with_bec(&hs, &self.params)
+                .map(|(h, extras, stats)| (h, extras, stats.rescued_codewords))
+        } else {
+            phy_decoder::decode_header(&hs, &self.params)
+                .ok()
+                .map(|dh| (dh.header, vec![dh.extra_nibbles], 0))
+        };
+        match decoded {
+            Some((header, extras, rescued)) => {
+                let mut p = self.params;
+                p.cr = header.cr;
+                let n_symbols = block::data_symbol_count(header.payload_len as usize, &p);
+                // Sanity: the packet must not extend absurdly beyond the
+                // trace (a corrupted-but-checksum-passing length).
+                if tr.data_start + (n_symbols as i64) * l > trace_len + 4 * l {
+                    tr.failure = Failure::Truncated;
+                    tr.status = Status::Failed;
+                    return;
+                }
+                tr.n_symbols = Some(n_symbols);
+                tr.values.resize(n_symbols, None);
+                tr.header = Some((header, extras));
+                tr.rescued += rescued;
+            }
+            None => {
+                if std::env::var("TNB_DEBUG_RX").is_ok() {
+                    eprintln!(
+                        "DBG header decode failed for packet at {:.0}, syms {:?}",
+                        tr.det.start,
+                        &tr.values[..8]
+                    );
+                }
+                tr.failure = Failure::Header;
+                tr.status = Status::Failed;
+            }
+        }
+    }
+
+    fn try_decode_payload(&self, tr: &mut Tracked) {
+        let Some(n_symbols) = tr.n_symbols else {
+            return;
+        };
+        if tr.status != Status::Active || tr.values.len() < n_symbols {
+            return;
+        }
+        if tr.values[..n_symbols].iter().any(Option::is_none) {
+            return;
+        }
+        let symbols: Vec<u16> = tr.values[..n_symbols].iter().map(|v| v.unwrap()).collect();
+        let (header, extras) = tr.header.clone().expect("header before payload");
+        let payload_syms = &symbols[LoRaParams::HEADER_SYMBOLS..];
+        let result = if self.cfg.use_bec {
+            bec::decode_payload_with_bec(payload_syms, &header, &extras, &self.params)
+                .ok()
+                .map(|d| (d.payload, d.stats.rescued_codewords))
+        } else {
+            let mut p = self.params;
+            p.cr = header.cr;
+            let mut nibbles = extras.first().cloned().unwrap_or_default();
+            for rows in phy_decoder::received_payload_blocks(payload_syms, &p) {
+                nibbles.extend(phy_decoder::default_decode_rows(&rows, p.cr));
+            }
+            phy_decoder::assemble_payload(&nibbles, header.payload_len as usize)
+                .ok()
+                .map(|payload| (payload, 0))
+        };
+        match result {
+            Some((payload, rescued)) => {
+                tr.rescued += rescued;
+                tr.decoded_payload = payload.clone();
+                // Re-encode to get the exact transmitted symbols for
+                // masking in the second pass.
+                let mut p = self.params;
+                p.cr = header.cr;
+                tr.known_symbols = Some(tnb_phy::encoder::encode_packet_symbols(&payload, &p));
+                tr.status = Status::Decoded;
+            }
+            None => {
+                if std::env::var("TNB_DEBUG_RX").is_ok() {
+                    eprintln!(
+                        "DBG payload decode failed for packet at {:.0}",
+                        tr.det.start
+                    );
+                }
+                tr.failure = Failure::Payload;
+                tr.status = Status::Failed;
+            }
+        }
+    }
+}

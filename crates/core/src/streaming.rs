@@ -1,0 +1,158 @@
+//! Gateway-style streaming frontend for the TnB receiver.
+//!
+//! A real gateway does not see a finished trace file: samples arrive
+//! continuously. [`StreamingReceiver`] buffers incoming chunks, runs the
+//! batch receiver over a sliding window, emits each packet once, and
+//! keeps enough overlap that packets straddling a window boundary are
+//! decoded whole in the next round.
+
+use crate::packet::DecodedPacket;
+use crate::receiver::{TnbConfig, TnbReceiver};
+use tnb_dsp::Complex32;
+use tnb_phy::params::LoRaParams;
+use tnb_phy::Transmitter;
+
+/// Streaming configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingConfig {
+    /// Receiver configuration for the underlying batch decodes.
+    pub receiver: TnbConfig,
+    /// Largest payload (bytes) expected on the air; bounds the window
+    /// overlap so boundary-straddling packets are always retried whole.
+    pub max_payload: usize,
+    /// Process the buffer whenever it exceeds this many multiples of the
+    /// longest packet airtime (larger = fewer, bigger batch decodes).
+    pub window_factor: usize,
+}
+
+impl Default for StreamingConfig {
+    fn default() -> Self {
+        StreamingConfig {
+            receiver: TnbConfig::default(),
+            max_payload: 64,
+            window_factor: 4,
+        }
+    }
+}
+
+/// Incremental receiver: push sample chunks, collect decoded packets.
+///
+/// Packet `start` fields are *absolute* sample indices in the stream (not
+/// window-relative).
+pub struct StreamingReceiver {
+    rx: TnbReceiver,
+    cfg: StreamingConfig,
+    /// Samples of one maximal packet, used for overlap sizing.
+    max_packet_samples: usize,
+    buffer: Vec<Complex32>,
+    /// Absolute index of `buffer[0]` in the stream.
+    base: u64,
+    /// Absolute starts of already emitted packets (for deduplication in
+    /// the overlap region).
+    emitted: Vec<f64>,
+    dedup_tolerance: f64,
+}
+
+impl StreamingReceiver {
+    /// Creates a streaming receiver with default configuration.
+    pub fn new(params: LoRaParams) -> Self {
+        Self::with_config(params, StreamingConfig::default())
+    }
+
+    /// Creates a streaming receiver with a custom configuration.
+    pub fn with_config(params: LoRaParams, cfg: StreamingConfig) -> Self {
+        let max_packet_samples = Transmitter::new(params).packet_samples(cfg.max_payload);
+        StreamingReceiver {
+            rx: TnbReceiver::with_config(params, cfg.receiver),
+            cfg,
+            max_packet_samples,
+            buffer: Vec::new(),
+            base: 0,
+            emitted: Vec::new(),
+            dedup_tolerance: params.samples_per_symbol() as f64 / 4.0,
+        }
+    }
+
+    /// Absolute index of the next sample [`Self::push`] will consume.
+    pub fn position(&self) -> u64 {
+        self.base + self.buffer.len() as u64
+    }
+
+    /// Feeds a chunk of samples; returns any packets completed by it.
+    pub fn push(&mut self, samples: &[Complex32]) -> Vec<DecodedPacket> {
+        self.buffer.extend_from_slice(samples);
+        let window = self.cfg.window_factor.max(2) * self.max_packet_samples;
+        if self.buffer.len() < window {
+            return Vec::new();
+        }
+        let out = self.process();
+        // Keep enough overlap that any packet starting inside the kept
+        // region is seen whole next time (one maximal packet plus one
+        // preamble of slack).
+        let keep = 2 * self.max_packet_samples;
+        if self.buffer.len() > keep {
+            let drop = self.buffer.len() - keep;
+            self.buffer.drain(..drop);
+            self.base += drop as u64;
+        }
+        self.emitted
+            .retain(|&s| s >= self.base as f64 - self.max_packet_samples as f64);
+        out
+    }
+
+    /// Flushes the remaining buffer at end of stream.
+    pub fn finish(&mut self) -> Vec<DecodedPacket> {
+        let out = self.process();
+        self.base += self.buffer.len() as u64;
+        self.buffer.clear();
+        out
+    }
+
+    fn process(&mut self) -> Vec<DecodedPacket> {
+        if self.buffer.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for mut d in self.rx.decode(&self.buffer) {
+            let absolute = self.base as f64 + d.start;
+            if self
+                .emitted
+                .iter()
+                .any(|&s| (s - absolute).abs() < self.dedup_tolerance)
+            {
+                continue;
+            }
+            self.emitted.push(absolute);
+            d.start = absolute;
+            out.push(d);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnb_phy::params::{CodingRate, SpreadingFactor};
+
+    fn params() -> LoRaParams {
+        LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4)
+    }
+
+    #[test]
+    fn position_tracks_pushes() {
+        let mut s = StreamingReceiver::new(params());
+        assert_eq!(s.position(), 0);
+        s.push(&[Complex32::ZERO; 1000]);
+        assert_eq!(s.position(), 1000);
+        s.push(&[Complex32::ZERO; 234]);
+        assert_eq!(s.position(), 1234);
+    }
+
+    #[test]
+    fn finish_on_empty_is_empty() {
+        let mut s = StreamingReceiver::new(params());
+        assert!(s.finish().is_empty());
+        assert!(s.push(&[]).is_empty());
+    }
+}

@@ -1,0 +1,213 @@
+//! Fractional timing and CFO estimation — detection step 4 (paper §7).
+//!
+//! A three-phase search evaluates `Q(δt, δf)`, the phase-coherent peak
+//! energy of the preamble: the complex signal vectors of the 8 upchirps
+//! are summed and the energy taken at the peak of the summed vector. Any
+//! residual fractional CFO rotates consecutive symbols against each other
+//! and collapses the sum, which is what makes `Q` sharp in `δf`.
+//!
+//! - **Phase 1**: 17 points along `δt = 0`, `δf ∈ [−1, 0]` in steps of
+//!   1/16 bin → `δf*` (possibly off by exactly 1 because `Q` only looks
+//!   at peak energy, which is invariant to integer-bin shifts).
+//! - **Phase 2**: 10 points, `δt ∈ {−1, −½, 0, ½, 1}` chips ×
+//!   `δf ∈ {δf*, δf*+1}`, scored by `Q*` — `Q` gated on both the upchirp
+//!   and downchirp peaks landing at bin 0, which disambiguates the ±1.
+//! - **Phase 3**: `U + 1` points refining `δt` in steps of `1/U` chip
+//!   (= 1 receiver sample) around the phase-2 winner.
+//!
+//! Total: 36 evaluations for `U = 8`, matching the paper.
+
+use crate::packet::DetectedPacket;
+use tnb_dsp::Complex32;
+use tnb_phy::demodulate::Demodulator;
+use tnb_phy::params::LoRaParams;
+
+/// Tunables for the fractional search.
+#[derive(Debug, Clone, Copy)]
+pub struct SyncConfig {
+    /// Phase-1 grid points along the CFO axis (paper: 17 → 1/16-bin steps).
+    pub cfo_grid: usize,
+    /// Reject a preamble whose best `Q*` is zero (no consistent peak).
+    pub require_qstar: bool,
+}
+
+impl Default for SyncConfig {
+    fn default() -> Self {
+        SyncConfig {
+            cfo_grid: 17,
+            require_qstar: true,
+        }
+    }
+}
+
+/// Evaluation of `Q`/`Q*` at one `(δt, δf)` point.
+struct QValue {
+    /// Peak energy of the summed upchirp spectra.
+    q: f32,
+    /// True if the upchirp peak *and* the downchirp peak are at bin 0.
+    peaks_at_zero: bool,
+}
+
+/// Runs the fractional search and returns the synchronized packet, or
+/// `None` if the preamble does not produce consistent peaks.
+///
+/// `start` is the coarse start estimate in samples, `cfo_int` the coarse
+/// CFO in (integer) bins.
+pub fn fractional_sync(
+    samples: &[Complex32],
+    demod: &Demodulator,
+    start: i64,
+    cfo_int: f64,
+    cfg: &SyncConfig,
+) -> Option<DetectedPacket> {
+    let params = *demod.params();
+    let u = params.osf as i64;
+
+    let eval = |dt_chips: f64, df: f64| -> Option<QValue> {
+        evaluate_q(samples, demod, start, dt_chips, cfo_int + df)
+    };
+
+    // Phase 1: δt = 0, δf from −1 to 0.
+    let steps = cfg.cfo_grid.max(2) - 1;
+    let mut best_df = 0.0;
+    let mut best_q = f32::NEG_INFINITY;
+    for i in 0..=steps {
+        let df = -1.0 + i as f64 / steps as f64;
+        if let Some(v) = eval(0.0, df) {
+            if v.q > best_q {
+                best_q = v.q;
+                best_df = df;
+            }
+        }
+    }
+    if best_q <= 0.0 {
+        return None;
+    }
+
+    // Phase 2: δt ∈ {−1, −½, 0, ½, 1} chips × δf ∈ {δf*, δf*+1}, by Q*.
+    let mut p2: Option<(f32, f64, f64)> = None;
+    for &df in &[best_df, best_df + 1.0] {
+        for i in -2i64..=2 {
+            let dt = i as f64 / 2.0;
+            if let Some(v) = eval(dt, df) {
+                if v.peaks_at_zero && p2.map(|(q, _, _)| v.q > q).unwrap_or(true) {
+                    p2 = Some((v.q, dt, df));
+                }
+            }
+        }
+    }
+    let (_, dt2, df2) = match p2 {
+        Some(v) => v,
+        None if cfg.require_qstar => return None,
+        None => (0.0, 0.0, best_df),
+    };
+
+    // Phase 3: refine δt at 1/U-chip (1-sample) resolution.
+    let mut p3: Option<(f32, f64)> = None;
+    for i in 0..=params.osf {
+        let dt = dt2 - 0.5 + i as f64 / u as f64;
+        if let Some(v) = eval(dt, df2) {
+            if v.peaks_at_zero && p3.map(|(q, _)| v.q > q).unwrap_or(true) {
+                p3 = Some((v.q, dt));
+            }
+        }
+    }
+    let (q3, dt3) = p3.unwrap_or((best_q, dt2));
+
+    let final_start = start as f64 + dt3 * u as f64;
+    if final_start < 0.0 {
+        return None;
+    }
+    // Per-symbol preamble peak height for Thrive's history bootstrap: the
+    // coherent sum over 8 symbols scales as 8², so one symbol's peak is
+    // Q/64.
+    let preamble_peak = q3 / (LoRaParams::PREAMBLE_UPCHIRPS * LoRaParams::PREAMBLE_UPCHIRPS) as f32;
+    Some(DetectedPacket {
+        start: final_start,
+        cfo_cycles: cfo_int + df2,
+        preamble_peak,
+    })
+}
+
+/// Computes `Q` and the peaks-at-zero predicate for one candidate
+/// `(δt, δf)`: sums the complex spectra of the 8 upchirp windows and the 2
+/// full downchirp windows, CFO-corrected by `cfo` bins, with the windows
+/// shifted by `dt_chips` chips.
+fn evaluate_q(
+    samples: &[Complex32],
+    demod: &Demodulator,
+    start: i64,
+    dt_chips: f64,
+    cfo: f64,
+) -> Option<QValue> {
+    let params = demod.params();
+    let l = params.samples_per_symbol() as i64;
+    let _n = params.n();
+    let shift = (dt_chips * params.osf as f64).round() as i64;
+    let base = start + shift;
+
+    let window = |off: i64| -> Option<&[Complex32]> {
+        let s = base + off;
+        if s < 0 || (s + l) as usize > samples.len() {
+            None
+        } else {
+            Some(&samples[s as usize..(s + l) as usize])
+        }
+    };
+
+    // Summed upchirp spectra. The per-window CFO correction uses a local
+    // time index, so each window must additionally be de-rotated by the
+    // correction phase accumulated since the packet start (2π·cfo per
+    // symbol) — otherwise the sum's coherence would depend on the *true*
+    // fractional CFO instead of the corrected residual, and Q would not
+    // discriminate δf at all.
+    let carry = |j: i64| Complex32::from_phase(-2.0 * std::f64::consts::PI * cfo * j as f64);
+    let mut up_sum = vec![Complex32::ZERO; l as usize];
+    for j in 0..LoRaParams::PREAMBLE_UPCHIRPS as i64 {
+        let w = window(j * l)?;
+        let spec = demod.complex_spectrum(w, cfo);
+        let rot = carry(j);
+        for (a, b) in up_sum.iter_mut().zip(spec) {
+            *a += b * rot;
+        }
+    }
+    let folded = demod.fold(&up_sum);
+    let (up_bin, &q) = folded
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))?;
+    let up_pos = centred_peak_position(&folded, up_bin);
+
+    // Downchirp peak location (two full downchirp windows start 10 and 11
+    // symbols in). Their dechirped spectra also sum coherently.
+    let mut down_sum = vec![Complex32::ZERO; l as usize];
+    for j in [10i64, 11] {
+        let w = window(j * l)?;
+        let spec = demod.complex_spectrum_down(w, cfo);
+        let rot = carry(j);
+        for (a, b) in down_sum.iter_mut().zip(spec) {
+            *a += b * rot;
+        }
+    }
+    let down_folded = demod.fold(&down_sum);
+    let down_bin = down_folded
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))?
+        .0;
+    let down_pos = centred_peak_position(&down_folded, down_bin);
+
+    // "At location 1" (paper, 1-indexed) = within half a bin of bin 0
+    // here; 0.6 leaves margin for interpolation error while still
+    // rejecting the ±1-bin CFO/timing ambiguities.
+    let peaks_at_zero = up_pos.abs() <= 0.6 && down_pos.abs() <= 0.6;
+    Some(QValue { q, peaks_at_zero })
+}
+
+/// Sub-bin peak position of a circular spectrum peak, centred so bin
+/// `n−1` reads as `−1`.
+fn centred_peak_position(folded: &[f32], bin: usize) -> f32 {
+    let n = folded.len() as i64;
+    let (delta, _) = tnb_dsp::peakfinder::refine_peak(folded, bin);
+    crate::detect::center(bin as i64, n) as f32 + delta
+}

@@ -1,0 +1,91 @@
+//! Streaming receiver vs batch receiver: feeding the same trace in
+//! arbitrary chunks must produce the same packets, each exactly once.
+
+use tnb_channel::trace::{PacketConfig, TraceBuilder};
+use tnb_core::{StreamingReceiver, TnbReceiver};
+use tnb_phy::{CodingRate, LoRaParams, SpreadingFactor};
+
+fn build_trace(seed: u64, n_packets: usize) -> (tnb_channel::trace::Trace, Vec<Vec<u8>>) {
+    let p = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+    let mut b = TraceBuilder::new(p, seed);
+    let airtime = b.packet_samples(16);
+    let mut payloads = Vec::new();
+    for k in 0..n_packets {
+        let payload: Vec<u8> = (0..16).map(|i| (k * 31 + i) as u8).collect();
+        b.add_packet(
+            &payload,
+            PacketConfig {
+                start_sample: 3_000 + k * (airtime + 40_000),
+                snr_db: 9.0 + (k % 3) as f32 * 2.0,
+                cfo_hz: -3000.0 + 1200.0 * k as f64,
+                ..Default::default()
+            },
+        );
+        payloads.push(payload);
+    }
+    b.set_min_len(3_000 + n_packets * (airtime + 40_000) + 50_000);
+    (b.build(), payloads)
+}
+
+fn stream_decode(trace: &[tnb_dsp::Complex32], chunk: usize) -> Vec<Vec<u8>> {
+    let p = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+    let mut rx = StreamingReceiver::new(p);
+    let mut out = Vec::new();
+    for c in trace.chunks(chunk) {
+        out.extend(rx.push(c).into_iter().map(|d| d.payload));
+    }
+    out.extend(rx.finish().into_iter().map(|d| d.payload));
+    out
+}
+
+#[test]
+fn streaming_matches_batch() {
+    let (trace, payloads) = build_trace(31, 5);
+    let p = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+    let batch: Vec<Vec<u8>> = TnbReceiver::new(p)
+        .decode(trace.samples())
+        .into_iter()
+        .map(|d| d.payload)
+        .collect();
+    assert_eq!(batch.len(), 5, "batch baseline should decode all");
+    for chunk in [10_000usize, 77_777, 1_000_000] {
+        let streamed = stream_decode(trace.samples(), chunk);
+        assert_eq!(streamed.len(), 5, "chunk={chunk}: {streamed:?}");
+        for pay in &payloads {
+            assert!(streamed.contains(pay), "chunk={chunk} missing {pay:?}");
+        }
+    }
+}
+
+#[test]
+fn no_duplicate_emissions_across_windows() {
+    let (trace, _) = build_trace(32, 4);
+    // Tiny chunks maximise window-boundary crossings.
+    let streamed = stream_decode(trace.samples(), 50_000);
+    let mut seen = std::collections::HashSet::new();
+    for p in &streamed {
+        assert!(seen.insert(p.clone()), "duplicate emission of {p:?}");
+    }
+    assert_eq!(streamed.len(), 4);
+}
+
+#[test]
+fn absolute_starts_reported() {
+    let (trace, _) = build_trace(33, 3);
+    let p = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+    let mut rx = StreamingReceiver::new(p);
+    let mut starts = Vec::new();
+    for c in trace.samples().chunks(123_456) {
+        starts.extend(rx.push(c).into_iter().map(|d| d.start));
+    }
+    starts.extend(rx.finish().into_iter().map(|d| d.start));
+    starts.sort_by(f64::total_cmp);
+    let airtime = tnb_phy::Transmitter::new(p).packet_samples(16);
+    for (k, s) in starts.iter().enumerate() {
+        let expect = (3_000 + k * (airtime + 40_000)) as f64;
+        assert!(
+            (s - expect).abs() < 3.0,
+            "packet {k}: start {s} expect {expect}"
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! A minimal complex number type over `f32`.
+//!
+//! LoRa baseband samples are complex I/Q pairs. The paper's traces store
+//! them as 16-bit integers, so `f32` loses nothing; it also halves memory
+//! traffic versus `f64`, which matters because a 1 Msps trace holds millions
+//! of samples. Phase *generation* (chirp synthesis) is done in `f64` by the
+//! PHY crate before narrowing, so precision-sensitive accumulation never
+//! happens in `f32`.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f32` real and imaginary parts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex32 {
+    /// Real (in-phase) part.
+    pub re: f32,
+    /// Imaginary (quadrature) part.
+    pub im: f32,
+}
+
+impl Complex32 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex32 = Complex32 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex32 = Complex32 { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex32 = Complex32 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f32, im: f32) -> Self {
+        Complex32 { re, im }
+    }
+
+    /// Creates the unit-magnitude complex number `e^{i·phase}`.
+    ///
+    /// `phase` is accepted in `f64` because chirp phases are accumulated in
+    /// double precision; only the final sinusoid is narrowed to `f32`.
+    #[inline]
+    pub fn from_phase(phase: f64) -> Self {
+        let (s, c) = phase.sin_cos();
+        Complex32 {
+            re: c as f32,
+            im: s as f32,
+        }
+    }
+
+    /// Creates a complex number from polar coordinates.
+    #[inline]
+    pub fn from_polar(magnitude: f32, phase: f32) -> Self {
+        let (s, c) = phase.sin_cos();
+        Complex32 {
+            re: magnitude * c,
+            im: magnitude * s,
+        }
+    }
+
+    /// The complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex32 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `re² + im²` (cheaper than [`Self::abs`]; use it for
+    /// comparisons and energies).
+    #[inline]
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `√(re² + im²)`.
+    #[inline]
+    pub fn abs(self) -> f32 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f32 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by the conjugate of `rhs`; equivalent to `self * rhs.conj()`
+    /// but spelled out because it is the hot operation in de-chirping.
+    #[inline]
+    pub fn mul_conj(self, rhs: Self) -> Self {
+        Complex32 {
+            re: self.re * rhs.re + self.im * rhs.im,
+            im: self.im * rhs.re - self.re * rhs.im,
+        }
+    }
+
+    /// Scales both components by a real factor.
+    #[inline]
+    pub fn scale(self, k: f32) -> Self {
+        Complex32 {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// True if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+}
+
+impl Add for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Complex32::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex32 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Complex32::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex32 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Complex32::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex32 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f32> for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn mul(self, k: f32) -> Self {
+        self.scale(k)
+    }
+}
+
+impl Div<f32> for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn div(self, k: f32) -> Self {
+        self.scale(1.0 / k)
+    }
+}
+
+impl Neg for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn neg(self) -> Self {
+        Complex32::new(-self.re, -self.im)
+    }
+}
+
+impl std::fmt::Display for Complex32 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex32, b: Complex32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Complex32::new(1.5, -2.0);
+        let b = Complex32::new(-0.25, 4.0);
+        assert!(close(a + b - b, a));
+    }
+
+    #[test]
+    fn mul_matches_expansion() {
+        let a = Complex32::new(3.0, 4.0);
+        let b = Complex32::new(-1.0, 2.0);
+        // (3+4i)(-1+2i) = -3 + 6i - 4i + 8i² = -11 + 2i
+        assert!(close(a * b, Complex32::new(-11.0, 2.0)));
+    }
+
+    #[test]
+    fn conj_negates_imaginary() {
+        let a = Complex32::new(3.0, 4.0);
+        assert_eq!(a.conj(), Complex32::new(3.0, -4.0));
+    }
+
+    #[test]
+    fn mul_conj_equals_mul_by_conj() {
+        let a = Complex32::new(0.3, -0.7);
+        let b = Complex32::new(1.1, 0.9);
+        assert!(close(a.mul_conj(b), a * b.conj()));
+    }
+
+    #[test]
+    fn abs_of_3_4_is_5() {
+        assert!((Complex32::new(3.0, 4.0).abs() - 5.0).abs() < 1e-6);
+        assert!((Complex32::new(3.0, 4.0).norm_sqr() - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_phase_is_unit_magnitude() {
+        for k in 0..16 {
+            let z = Complex32::from_phase(k as f64 * 0.5);
+            assert!((z.abs() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn from_polar_roundtrip() {
+        let z = Complex32::from_polar(2.0, 1.0);
+        assert!((z.abs() - 2.0).abs() < 1e-5);
+        assert!((z.arg() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn arg_quadrants() {
+        assert!((Complex32::new(1.0, 0.0).arg()).abs() < 1e-6);
+        assert!((Complex32::new(0.0, 1.0).arg() - std::f32::consts::FRAC_PI_2).abs() < 1e-6);
+        assert!((Complex32::new(-1.0, 0.0).arg() - std::f32::consts::PI).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex32::new(1.0, -2.0).to_string(), "1-2i");
+        assert_eq!(Complex32::new(1.0, 2.0).to_string(), "1+2i");
+    }
+}

@@ -1,0 +1,273 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+//!
+//! Every transform the TnB pipeline performs has a power-of-two length
+//! (`2^SF` at base rate or `2^SF · OSF` oversampled, with SF ∈ 6..=12 and
+//! OSF a power of two), so a radix-2 kernel covers all of them.
+//!
+//! [`FftPlan`] precomputes twiddle factors and the bit-reversal permutation
+//! once per size; the de-chirp loop then reuses the plan for every symbol.
+//! Transforms are performed in place to avoid per-symbol allocations.
+
+use crate::complex::Complex32;
+
+/// A reusable FFT plan for a fixed power-of-two size.
+///
+/// Create one with [`FftPlan::new`] and call [`FftPlan::forward`] /
+/// [`FftPlan::inverse`] on buffers of exactly that size.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    size: usize,
+    /// Twiddle factors `e^{-2πik/N}` for `k in 0..N/2` (forward direction).
+    twiddles: Vec<Complex32>,
+    /// Bit-reversal permutation: `rev[i]` is `i` with `log2(N)` bits reversed.
+    rev: Vec<u32>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `size`.
+    ///
+    /// # Panics
+    /// Panics if `size` is zero or not a power of two.
+    pub fn new(size: usize) -> Self {
+        assert!(
+            size.is_power_of_two() && size > 0,
+            "FFT size must be a nonzero power of two, got {size}"
+        );
+        let bits = size.trailing_zeros();
+        // Twiddles are generated from f64 phases so large sizes keep full
+        // f32 accuracy.
+        let twiddles = (0..size / 2)
+            .map(|k| Complex32::from_phase(-2.0 * std::f64::consts::PI * k as f64 / size as f64))
+            .collect();
+        let rev = (0..size as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
+            .collect::<Vec<_>>();
+        // For size == 1 the shift above would be 31 and rev[0] must be 0,
+        // which it is; no special case needed beyond bits.max(1).
+        FftPlan {
+            size,
+            twiddles,
+            rev,
+        }
+    }
+
+    /// The transform length this plan was built for.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// In-place forward DFT: `X[k] = Σ_n x[n] e^{-2πikn/N}` (no scaling).
+    ///
+    /// # Panics
+    /// Panics if `buf.len() != self.size()`.
+    pub fn forward(&self, buf: &mut [Complex32]) {
+        assert_eq!(buf.len(), self.size, "buffer length must match plan size");
+        self.permute(buf);
+        self.butterflies(buf, false);
+    }
+
+    /// In-place inverse DFT with `1/N` scaling, so
+    /// `inverse(forward(x)) == x`.
+    ///
+    /// # Panics
+    /// Panics if `buf.len() != self.size()`.
+    pub fn inverse(&self, buf: &mut [Complex32]) {
+        assert_eq!(buf.len(), self.size, "buffer length must match plan size");
+        self.permute(buf);
+        self.butterflies(buf, true);
+        let k = 1.0 / self.size as f32;
+        for v in buf.iter_mut() {
+            *v = v.scale(k);
+        }
+    }
+
+    fn permute(&self, buf: &mut [Complex32]) {
+        for i in 0..self.size {
+            let j = self.rev[i] as usize;
+            if j > i {
+                buf.swap(i, j);
+            }
+        }
+    }
+
+    fn butterflies(&self, buf: &mut [Complex32], inverse: bool) {
+        let n = self.size;
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len; // index step through the twiddle table
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * stride];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let a = buf[start + k];
+                    let b = buf[start + k + half] * w;
+                    buf[start + k] = a + b;
+                    buf[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+/// Convenience one-shot forward FFT (allocates a plan; prefer [`FftPlan`] in
+/// loops).
+pub fn fft(input: &[Complex32]) -> Vec<Complex32> {
+    let mut buf = input.to_vec();
+    FftPlan::new(input.len()).forward(&mut buf);
+    buf
+}
+
+/// Convenience one-shot inverse FFT (allocates a plan; prefer [`FftPlan`] in
+/// loops).
+pub fn ifft(input: &[Complex32]) -> Vec<Complex32> {
+    let mut buf = input.to_vec();
+    FftPlan::new(input.len()).inverse(&mut buf);
+    buf
+}
+
+/// Squared-magnitude spectrum of `buf`: `|X[k]|²` for each bin. This is the
+/// paper's signal-vector form `Y = |FFT(γ)| ⊙ |FFT(γ)|`.
+pub fn power_spectrum(buf: &[Complex32]) -> Vec<f32> {
+    buf.iter().map(|z| z.norm_sqr()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(N²) reference DFT used to validate the FFT.
+    fn naive_dft(x: &[Complex32]) -> Vec<Complex32> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex32::ZERO;
+                for (i, &v) in x.iter().enumerate() {
+                    let w = Complex32::from_phase(
+                        -2.0 * std::f64::consts::PI * (k * i % n) as f64 / n as f64,
+                    );
+                    acc += v * w;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Complex32> {
+        // Tiny xorshift so the test has no external deps.
+        let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) as f32 - 0.5
+        };
+        (0..n).map(|_| Complex32::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for &n in &[1usize, 2, 4, 8, 64, 256] {
+            let x = rand_signal(n, n as u64);
+            let got = fft(&x);
+            let want = naive_dft(&x);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((*g - *w).abs() < 1e-3 * (n as f32).sqrt(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for &n in &[2usize, 16, 1024, 2048] {
+            let x = rand_signal(n, 7 + n as u64);
+            let y = ifft(&fft(&x));
+            for (a, b) in x.iter().zip(&y) {
+                assert!((*a - *b).abs() < 1e-4, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum() {
+        let mut x = vec![Complex32::ZERO; 32];
+        x[0] = Complex32::ONE;
+        let y = fft(&x);
+        for v in y {
+            assert!((v - Complex32::ONE).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_one_bin() {
+        let n = 256;
+        let k0 = 37;
+        let x: Vec<Complex32> = (0..n)
+            .map(|i| {
+                Complex32::from_phase(2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64)
+            })
+            .collect();
+        let y = fft(&x);
+        let p = power_spectrum(&y);
+        let max_bin = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(max_bin, k0);
+        // All energy should be in bin k0 (tone is bin-aligned).
+        let total: f32 = p.iter().sum();
+        assert!(p[k0] / total > 0.999);
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let n = 512;
+        let x = rand_signal(n, 99);
+        let y = fft(&x);
+        let ex: f32 = x.iter().map(|v| v.norm_sqr()).sum();
+        let ey: f32 = y.iter().map(|v| v.norm_sqr()).sum::<f32>() / n as f32;
+        assert!((ex - ey).abs() / ex < 1e-4);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 128;
+        let a = rand_signal(n, 1);
+        let b = rand_signal(n, 2);
+        let sum: Vec<Complex32> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let fa = fft(&a);
+        let fb = fft(&b);
+        let fsum = fft(&sum);
+        for i in 0..n {
+            assert!((fsum[i] - (fa[i] + fb[i])).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        FftPlan::new(48);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match plan size")]
+    fn wrong_buffer_length_panics() {
+        let plan = FftPlan::new(16);
+        let mut buf = vec![Complex32::ZERO; 8];
+        plan.forward(&mut buf);
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let plan = FftPlan::new(1);
+        let mut buf = [Complex32::new(2.0, -3.0)];
+        plan.forward(&mut buf);
+        assert_eq!(buf[0], Complex32::new(2.0, -3.0));
+    }
+}

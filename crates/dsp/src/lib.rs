@@ -1,0 +1,32 @@
+//! DSP substrate for the TnB LoRa collision decoder.
+//!
+//! This crate provides the numeric building blocks that the rest of the
+//! workspace is built on. Everything is implemented from scratch so the
+//! workspace has no external DSP dependencies:
+//!
+//! - [`Complex32`]: a minimal complex number type over `f32`, the sample
+//!   format of the synthetic traces (the paper's USRP traces store 16-bit
+//!   integer I/Q, which `f32` covers exactly).
+//! - [`fft`]: an iterative radix-2 Cooley–Tukey FFT with a reusable
+//!   [`fft::FftPlan`]. All transform sizes in LoRa processing are powers of
+//!   two (`2^SF · OSF`), so radix-2 is sufficient and simple.
+//! - [`peakfinder`]: a port of the MATLAB `peakfinder` routine the paper uses
+//!   for peak detection (reference \[29\] in the paper).
+//! - [`smooth`]: moving-window smoothers standing in for MATLAB
+//!   `smoothdata`, used by Thrive's peak-height history model.
+//! - [`stats`]: median / percentile / CDF helpers used throughout the
+//!   evaluation harness.
+//!
+//! Design follows the workspace's networking-code guidelines: simple,
+//! event-free, allocation-conscious synchronous code with no macro or type
+//! tricks.
+
+pub mod complex;
+pub mod fft;
+pub mod peakfinder;
+pub mod smooth;
+pub mod stats;
+
+pub use complex::Complex32;
+pub use fft::FftPlan;
+pub use peakfinder::{find_peaks, Peak, PeakFinderConfig};

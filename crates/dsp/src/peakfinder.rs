@@ -1,0 +1,387 @@
+//! Local-maxima detection: a port of the MATLAB `peakfinder` routine
+//! (N. Yoder, MATLAB Central #25500), which the paper uses as its peak
+//! detector (reference \[29\]).
+//!
+//! The algorithm walks the alternating local extrema of the input and keeps
+//! a maximum only if it stands out from the neighbouring minima by more than
+//! a *selectivity* threshold `sel`. This suppresses spectral ripple around a
+//! strong FFT peak while keeping genuinely separate peaks from different
+//! LoRa transmitters.
+//!
+//! Two extensions beyond the MATLAB original, both needed by TnB:
+//!
+//! - **Circular mode**: LoRa signal vectors are FFT-bin vectors, so a peak
+//!   can straddle the bin-0 boundary. In circular mode the endpoints are
+//!   treated as neighbours.
+//! - A hard `max_peaks` cap (Thrive bounds the number of peaks per symbol
+//!   by `2M`), keeping the tallest peaks.
+
+/// A detected peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Index of the peak sample in the input vector.
+    pub index: usize,
+    /// Height of the peak sample.
+    pub height: f32,
+}
+
+/// Configuration for [`find_peaks`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PeakFinderConfig {
+    /// Selectivity: a maximum must exceed the surrounding minima by more
+    /// than this to count. `None` uses the MATLAB default
+    /// `(max(x) - min(x)) / 4`.
+    pub sel: Option<f32>,
+    /// Absolute height threshold; peaks below it are dropped. `None`
+    /// disables the threshold.
+    pub threshold: Option<f32>,
+    /// Treat the input as circular (FFT-bin vectors). When set, endpoints
+    /// wrap instead of being boundary extrema.
+    pub circular: bool,
+    /// Whether the first/last sample may be reported as peaks
+    /// (ignored in circular mode, where there is no boundary).
+    pub include_endpoints: bool,
+    /// Keep at most this many peaks (the tallest ones). `None` keeps all.
+    pub max_peaks: Option<usize>,
+}
+
+/// Finds local maxima of `x` per [`PeakFinderConfig`].
+///
+/// Returns peaks sorted by index. Inputs shorter than 3 samples yield no
+/// peaks (matching the MATLAB routine, which requires a neighbourhood).
+pub fn find_peaks(x: &[f32], cfg: &PeakFinderConfig) -> Vec<Peak> {
+    if x.len() < 3 {
+        return Vec::new();
+    }
+
+    let (lo, hi) = min_max(x);
+    let sel = cfg.sel.unwrap_or((hi - lo) / 4.0);
+
+    let peaks = if cfg.circular {
+        find_peaks_circular(x, sel)
+    } else {
+        find_peaks_linear(x, sel, cfg.include_endpoints)
+    };
+
+    let mut peaks: Vec<Peak> = match cfg.threshold {
+        Some(t) => peaks.into_iter().filter(|p| p.height >= t).collect(),
+        None => peaks,
+    };
+
+    if let Some(cap) = cfg.max_peaks {
+        if peaks.len() > cap {
+            // Keep the tallest `cap`, then restore index order.
+            peaks.sort_by(|a, b| b.height.total_cmp(&a.height));
+            peaks.truncate(cap);
+            peaks.sort_by_key(|p| p.index);
+        }
+    }
+    peaks
+}
+
+fn min_max(x: &[f32]) -> (f32, f32) {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in x {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+/// Core alternating-extrema scan with selectivity, on a linear signal.
+///
+/// This mirrors the structure of the MATLAB routine: maintain the lowest
+/// value seen since the last confirmed peak (`left_min`); a candidate
+/// maximum becomes a peak once it exceeds `left_min + sel` *and* the signal
+/// subsequently drops by more than `sel` below it (or the signal ends).
+fn find_peaks_linear(x: &[f32], sel: f32, include_endpoints: bool) -> Vec<Peak> {
+    let n = x.len();
+    let mut peaks = Vec::new();
+
+    let mut left_min = x[0];
+    let mut candidate: Option<Peak> = None;
+
+    // Optionally allow the first sample to be a candidate.
+    if include_endpoints && x[0] > x[1] {
+        candidate = Some(Peak {
+            index: 0,
+            height: x[0],
+        });
+    }
+
+    for i in 1..n {
+        let v = x[i];
+        match candidate {
+            Some(c) => {
+                if v > c.height {
+                    // Still climbing: move the candidate up.
+                    candidate = Some(Peak {
+                        index: i,
+                        height: v,
+                    });
+                } else if v < c.height - sel {
+                    // Dropped far enough below the candidate: confirm it.
+                    peaks.push(c);
+                    candidate = None;
+                    left_min = v;
+                }
+            }
+            None => {
+                left_min = left_min.min(v);
+                // A local rise of more than `sel` above the running minimum
+                // starts a new candidate.
+                if v > left_min + sel {
+                    let is_local_max = i + 1 >= n || x[i + 1] <= v;
+                    let _ = is_local_max; // candidacy does not require it; the climb loop handles plateaus
+                    candidate = Some(Peak {
+                        index: i,
+                        height: v,
+                    });
+                }
+            }
+        }
+    }
+
+    if let Some(c) = candidate {
+        // Signal ended while a candidate was live. MATLAB keeps it if
+        // endpoints are allowed or if it is an interior sample.
+        if include_endpoints || c.index + 1 < n {
+            peaks.push(c);
+        }
+    }
+
+    peaks
+}
+
+/// Circular variant: rotate the signal so it starts at its global minimum,
+/// run the linear scan (the global minimum can never be inside a peak), and
+/// map indices back.
+fn find_peaks_circular(x: &[f32], sel: f32) -> Vec<Peak> {
+    let n = x.len();
+    let min_idx = x
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+
+    let rotated: Vec<f32> = (0..n).map(|i| x[(i + min_idx) % n]).collect();
+    // Endpoints are enabled because the rotated signal starts at the global
+    // minimum: a candidate still live at the end wraps down to that minimum,
+    // which confirms it (it already cleared `min + sel` to become a
+    // candidate).
+    let mut peaks = find_peaks_linear(&rotated, sel, true);
+    for p in &mut peaks {
+        p.index = (p.index + min_idx) % n;
+    }
+    peaks.sort_by_key(|p| p.index);
+    peaks
+}
+
+/// Quadratic (parabolic) interpolation of a peak's fractional position from
+/// its two neighbours. Returns the fractional index offset in `[-0.5, 0.5]`
+/// and the interpolated height.
+///
+/// Used by analyses that need sub-bin peak positions; Thrive itself works on
+/// integer bins.
+pub fn refine_peak(x: &[f32], index: usize) -> (f32, f32) {
+    let n = x.len();
+    if n < 3 {
+        return (0.0, x.get(index).copied().unwrap_or(0.0));
+    }
+    let l = x[(index + n - 1) % n];
+    let c = x[index];
+    let r = x[(index + 1) % n];
+    let denom = l - 2.0 * c + r;
+    if denom.abs() < 1e-20 {
+        return (0.0, c);
+    }
+    let delta = 0.5 * (l - r) / denom;
+    let delta = delta.clamp(-0.5, 0.5);
+    let height = c - 0.25 * (l - r) * delta;
+    (delta, height)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PeakFinderConfig {
+        PeakFinderConfig::default()
+    }
+
+    #[test]
+    fn single_triangle_peak() {
+        let x = [0.0, 1.0, 4.0, 1.0, 0.0];
+        let p = find_peaks(&x, &cfg());
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].index, 2);
+        assert_eq!(p[0].height, 4.0);
+    }
+
+    #[test]
+    fn two_separated_peaks() {
+        let x = [0.0, 5.0, 0.0, 0.0, 7.0, 0.0, 0.0];
+        let p = find_peaks(&x, &cfg());
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].index, 1);
+        assert_eq!(p[1].index, 4);
+    }
+
+    #[test]
+    fn ripple_below_selectivity_is_ignored() {
+        // Main peak 10 with ripple of ±0.5 around it; default sel = 2.5.
+        let x = [0.0, 0.5, 0.2, 0.6, 10.0, 0.4, 0.7, 0.3, 0.0];
+        let p = find_peaks(&x, &cfg());
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].index, 4);
+    }
+
+    #[test]
+    fn explicit_selectivity_splits_close_peaks() {
+        let x = [0.0, 4.0, 2.0, 4.5, 0.0];
+        // Default sel = 4.5/4 ≈ 1.13 < dip of 2.0..2.5, so both survive.
+        let p = find_peaks(&x, &cfg());
+        assert_eq!(p.len(), 2);
+        // With sel = 3, the dip to 2.0 is not deep enough after peak 1
+        // (4.0 - 2.0 < 3), so only the taller peak remains.
+        let p = find_peaks(
+            &x,
+            &PeakFinderConfig {
+                sel: Some(3.0),
+                ..cfg()
+            },
+        );
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].index, 3);
+    }
+
+    #[test]
+    fn threshold_drops_small_peaks() {
+        let x = [0.0, 2.0, 0.0, 9.0, 0.0];
+        let p = find_peaks(
+            &x,
+            &PeakFinderConfig {
+                threshold: Some(5.0),
+                sel: Some(1.0),
+                ..cfg()
+            },
+        );
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].index, 3);
+    }
+
+    #[test]
+    fn max_peaks_keeps_tallest() {
+        let x = [0.0, 3.0, 0.0, 9.0, 0.0, 6.0, 0.0];
+        let p = find_peaks(
+            &x,
+            &PeakFinderConfig {
+                sel: Some(1.0),
+                max_peaks: Some(2),
+                ..cfg()
+            },
+        );
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].index, 3);
+        assert_eq!(p[1].index, 5);
+    }
+
+    #[test]
+    fn circular_peak_at_wraparound() {
+        // Peak centred on bin 0 of a circular vector.
+        let x = [10.0, 4.0, 0.0, 0.0, 0.0, 0.0, 0.0, 4.0];
+        let p = find_peaks(
+            &x,
+            &PeakFinderConfig {
+                circular: true,
+                sel: Some(2.0),
+                ..cfg()
+            },
+        );
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].index, 0);
+    }
+
+    #[test]
+    fn circular_two_peaks() {
+        let x = [9.0, 1.0, 0.0, 6.0, 0.5, 0.0, 0.0, 2.0];
+        let p = find_peaks(
+            &x,
+            &PeakFinderConfig {
+                circular: true,
+                sel: Some(2.0),
+                ..cfg()
+            },
+        );
+        let idx: Vec<usize> = p.iter().map(|p| p.index).collect();
+        assert_eq!(idx, vec![0, 3]);
+    }
+
+    #[test]
+    fn circular_peak_at_last_bin() {
+        // Peak in the final bin, valley wraps through bin 0.
+        let x = [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 3.0, 10.0];
+        let p = find_peaks(
+            &x,
+            &PeakFinderConfig {
+                circular: true,
+                sel: Some(2.0),
+                ..cfg()
+            },
+        );
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].index, 7);
+    }
+
+    #[test]
+    fn flat_signal_has_no_peaks() {
+        let x = [1.0; 16];
+        assert!(find_peaks(&x, &cfg()).is_empty());
+        let x = [0.0, 0.0];
+        assert!(find_peaks(&x, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn monotone_signal_has_no_interior_peaks() {
+        let x: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let p = find_peaks(&x, &cfg());
+        assert!(p.is_empty(), "{p:?}");
+        // With endpoints allowed, the final sample is reported.
+        let p = find_peaks(
+            &x,
+            &PeakFinderConfig {
+                include_endpoints: true,
+                ..cfg()
+            },
+        );
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].index, 9);
+    }
+
+    #[test]
+    fn plateau_reports_first_top_sample() {
+        let x = [0.0, 5.0, 5.0, 5.0, 0.0];
+        let p = find_peaks(&x, &cfg());
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].index, 1);
+    }
+
+    #[test]
+    fn refine_peak_recovers_fractional_position() {
+        // Sample a parabola with apex at 4.3.
+        let apex = 4.3_f32;
+        let x: Vec<f32> = (0..9).map(|i| 10.0 - (i as f32 - apex).powi(2)).collect();
+        let (d, h) = refine_peak(&x, 4);
+        assert!((d - 0.3).abs() < 1e-4, "delta {d}");
+        assert!((h - 10.0).abs() < 1e-3, "height {h}");
+    }
+
+    #[test]
+    fn refine_peak_wraps_circularly() {
+        let x = [10.0, 6.0, 0.0, 0.0, 0.0, 0.0, 0.0, 6.0];
+        let (d, _) = refine_peak(&x, 0);
+        assert!(d.abs() < 1e-6); // symmetric neighbours -> centred
+    }
+}

@@ -1,0 +1,272 @@
+//! Code-block assembly: nibbles ⇄ codeword rows ⇄ symbol words ⇄ symbol
+//! values (paper §3, Fig. 2).
+//!
+//! Two geometries exist:
+//! - **payload blocks**: `SF` rows, `4 + CR` symbols, full-rate Gray
+//!   mapping;
+//! - **the header block**: `SF − 2` rows, 8 symbols, always CR 4,
+//!   reduced-rate Gray mapping (symbol values are multiples of 4).
+
+use crate::gray;
+use crate::hamming;
+use crate::interleaver;
+use crate::params::{CodingRate, LoRaParams};
+
+/// Encodes up to `rows` nibbles into the symbol values of one block
+/// (padding missing nibbles with zero).
+fn encode_block(nibbles: &[u8], rows: usize, cr: CodingRate, sf: usize, reduced: bool) -> Vec<u16> {
+    assert!(nibbles.len() <= rows);
+    let mut cw_rows = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let nib = nibbles.get(r).copied().unwrap_or(0);
+        cw_rows.push(hamming::encode(nib, cr));
+    }
+    let words = interleaver::interleave(&cw_rows, cr.codeword_len());
+    words
+        .into_iter()
+        .map(|w| {
+            if reduced {
+                gray::bits_to_symbol_reduced(w, sf)
+            } else {
+                gray::bits_to_symbol(w, sf)
+            }
+        })
+        .collect()
+}
+
+/// Recovers the *received block* — the codeword rows `R` of paper §6.2,
+/// before any error correction — from one block's demodulated symbol
+/// values.
+fn received_block(
+    symbols: &[u16],
+    rows: usize,
+    cr: CodingRate,
+    sf: usize,
+    reduced: bool,
+) -> Vec<u8> {
+    assert_eq!(symbols.len(), cr.codeword_len());
+    let words: Vec<u16> = symbols
+        .iter()
+        .map(|&h| {
+            if reduced {
+                gray::symbol_to_bits_reduced(h, sf)
+            } else {
+                gray::symbol_to_bits(h, sf)
+            }
+        })
+        .collect();
+    interleaver::deinterleave(&words, rows, cr.codeword_len())
+}
+
+/// Encodes payload nibbles into one block of `4 + CR` symbol values.
+/// Blocks have `SF` rows at full rate, or `SF − 2` rows with reduced-rate
+/// mapping when LDRO is active (SF 11/12 at 125 kHz).
+pub fn encode_payload_block(nibbles: &[u8], params: &LoRaParams) -> Vec<u16> {
+    encode_block(
+        nibbles,
+        params.payload_bits_per_symbol(),
+        params.cr,
+        params.sf.value(),
+        params.ldro,
+    )
+}
+
+/// Recovers the received rows of a payload block (full-rate or LDRO).
+pub fn receive_payload_block(symbols: &[u16], params: &LoRaParams) -> Vec<u8> {
+    received_block(
+        symbols,
+        params.payload_bits_per_symbol(),
+        params.cr,
+        params.sf.value(),
+        params.ldro,
+    )
+}
+
+/// Encodes the header block: `SF − 2` nibbles (5 header + the first payload
+/// nibbles), CR 4, reduced-rate mapping, 8 symbols.
+pub fn encode_header_block(nibbles: &[u8], params: &LoRaParams) -> Vec<u16> {
+    encode_block(
+        nibbles,
+        params.sf.value() - 2,
+        CodingRate::CR4,
+        params.sf.value(),
+        true,
+    )
+}
+
+/// Recovers the received rows of the header block.
+pub fn receive_header_block(symbols: &[u16], params: &LoRaParams) -> Vec<u8> {
+    received_block(
+        symbols,
+        params.sf.value() - 2,
+        CodingRate::CR4,
+        params.sf.value(),
+        true,
+    )
+}
+
+/// Number of nibbles the header block carries beyond the 5 header nibbles.
+#[inline]
+pub fn header_block_payload_nibbles(params: &LoRaParams) -> usize {
+    params.sf.value() - 2 - crate::header::HEADER_NIBBLES
+}
+
+/// Number of full-rate payload blocks needed for `total_nibbles` payload
+/// nibbles (after the header block absorbed its share).
+pub fn payload_block_count(total_nibbles: usize, params: &LoRaParams) -> usize {
+    let in_header = header_block_payload_nibbles(params);
+    let remaining = total_nibbles.saturating_sub(in_header);
+    remaining.div_ceil(params.payload_bits_per_symbol())
+}
+
+/// Total number of data symbols (header + payload blocks) for a payload of
+/// `payload_len` bytes (CRC included automatically: `payload_len + 2` bytes
+/// = `2·(payload_len+2)` nibbles).
+pub fn data_symbol_count(payload_len: usize, params: &LoRaParams) -> usize {
+    let total_nibbles = 2 * (payload_len + 2);
+    LoRaParams::HEADER_SYMBOLS
+        + payload_block_count(total_nibbles, params) * params.cr.codeword_len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{CodingRate, LoRaParams, SpreadingFactor};
+
+    fn params(sf: SpreadingFactor, cr: CodingRate) -> LoRaParams {
+        LoRaParams::new(sf, cr)
+    }
+
+    #[test]
+    fn payload_block_roundtrip_all_crs() {
+        for cr in CodingRate::ALL {
+            let p = params(SpreadingFactor::SF8, cr);
+            let nibbles: Vec<u8> = (0..8).map(|i| (i * 3 + 1) as u8 & 0xF).collect();
+            let symbols = encode_payload_block(&nibbles, &p);
+            assert_eq!(symbols.len(), cr.codeword_len());
+            let rows = receive_payload_block(&symbols, &p);
+            for (r, row) in rows.iter().enumerate() {
+                assert_eq!(
+                    hamming::codeword_data(*row),
+                    nibbles[r],
+                    "cr={cr:?} row {r}"
+                );
+                // Rows must be exact codewords (no channel errors here).
+                assert_eq!(*row, hamming::encode(nibbles[r], cr));
+            }
+        }
+    }
+
+    #[test]
+    fn header_block_roundtrip() {
+        for sf in [
+            SpreadingFactor::SF7,
+            SpreadingFactor::SF8,
+            SpreadingFactor::SF10,
+        ] {
+            let p = params(sf, CodingRate::CR2);
+            let rows = sf.value() - 2;
+            let nibbles: Vec<u8> = (0..rows).map(|i| (13 * i + 5) as u8 & 0xF).collect();
+            let symbols = encode_header_block(&nibbles, &p);
+            assert_eq!(symbols.len(), 8);
+            // Reduced-rate symbols are multiples of 4.
+            for &s in &symbols {
+                assert_eq!(s % 4, 0);
+            }
+            let got = receive_header_block(&symbols, &p);
+            for (r, row) in got.iter().enumerate() {
+                assert_eq!(
+                    hamming::codeword_data(*row),
+                    nibbles[r],
+                    "sf={sf:?} row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn short_block_pads_with_zero() {
+        let p = params(SpreadingFactor::SF8, CodingRate::CR4);
+        let symbols = encode_payload_block(&[0xA, 0x5], &p);
+        let rows = receive_payload_block(&symbols, &p);
+        assert_eq!(hamming::codeword_data(rows[0]), 0xA);
+        assert_eq!(hamming::codeword_data(rows[1]), 0x5);
+        for row in &rows[2..] {
+            assert_eq!(*row, hamming::encode(0, CodingRate::CR4));
+        }
+    }
+
+    #[test]
+    fn block_counts_match_paper_scale() {
+        // Paper §6.1: "a packet with 16 bytes has only 3 to 5 blocks
+        // depending on the SF and CR" (payload blocks for the 36 nibbles of
+        // 16 payload + 2 CRC bytes).
+        for sf in [SpreadingFactor::SF8, SpreadingFactor::SF10] {
+            for cr in CodingRate::ALL {
+                let p = params(sf, cr);
+                let blocks = payload_block_count(2 * (16 + 2), &p);
+                assert!(
+                    (3..=5).contains(&blocks),
+                    "sf={sf:?} cr={cr:?}: {blocks} blocks"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ldro_blocks_use_reduced_geometry() {
+        // SF 12 at 125 kHz: LDRO active → 10 rows per payload block and
+        // symbol values that are multiples of 4.
+        let p = params(SpreadingFactor::SF12, CodingRate::CR4);
+        assert!(p.ldro);
+        let nibbles: Vec<u8> = (0..10).map(|i| (i * 7 + 2) as u8 & 0xF).collect();
+        let symbols = encode_payload_block(&nibbles, &p);
+        assert!(symbols.iter().all(|&s| s % 4 == 0), "{symbols:?}");
+        let rows = receive_payload_block(&symbols, &p);
+        assert_eq!(rows.len(), 10);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(hamming::codeword_data(*row), nibbles[r]);
+        }
+    }
+
+    #[test]
+    fn ldro_tolerates_plus_minus_two_bin_errors() {
+        // The point of LDRO: long symbols drift; ±1..2-bin demodulation
+        // errors must not corrupt any bit.
+        let p = params(SpreadingFactor::SF11, CodingRate::CR2);
+        assert!(p.ldro);
+        let nibbles: Vec<u8> = (0..9).map(|i| (i * 5 + 1) as u8 & 0xF).collect();
+        let clean = encode_payload_block(&nibbles, &p);
+        let n = p.n() as i32;
+        for err in [-2i32, -1, 1] {
+            let noisy: Vec<u16> = clean
+                .iter()
+                .map(|&s| ((s as i32 + err).rem_euclid(n)) as u16)
+                .collect();
+            let rows = receive_payload_block(&noisy, &p);
+            for (r, row) in rows.iter().enumerate() {
+                assert_eq!(
+                    hamming::codeword_data(*row),
+                    nibbles[r],
+                    "err={err} row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_count_sf8_cr4() {
+        let p = params(SpreadingFactor::SF8, CodingRate::CR4);
+        // 36 nibbles: 1 in the header block, 35 remaining → 5 blocks of 8
+        // rows → 5 × 8 symbols + 8 header symbols.
+        assert_eq!(data_symbol_count(16, &p), 8 + 5 * 8);
+    }
+
+    #[test]
+    fn symbol_count_sf10_cr1() {
+        let p = params(SpreadingFactor::SF10, CodingRate::CR1);
+        // 36 nibbles: 3 in the header block, 33 remaining → 4 blocks of 10
+        // rows → 4 × 5 symbols + 8 header symbols.
+        assert_eq!(data_symbol_count(16, &p), 8 + 4 * 5);
+    }
+}

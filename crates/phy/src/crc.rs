@@ -1,0 +1,121 @@
+//! CRC calculations: the packet-level CRC-16 (the check BEC relies on to
+//! pick the correct repaired packet) and the 8-bit PHY-header checksum.
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF, no reflection), the
+/// polynomial LoRa uses for its payload CRC.
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Appends the CRC-16 (big-endian) to a payload.
+pub fn append_crc16(payload: &[u8]) -> Vec<u8> {
+    let mut out = payload.to_vec();
+    let c = crc16(payload);
+    out.push((c >> 8) as u8);
+    out.push((c & 0xFF) as u8);
+    out
+}
+
+/// Checks a payload+CRC byte sequence; returns the payload on success.
+pub fn check_crc16(data: &[u8]) -> Option<&[u8]> {
+    if data.len() < 2 {
+        return None;
+    }
+    let (payload, tail) = data.split_at(data.len() - 2);
+    let expect = ((tail[0] as u16) << 8) | tail[1] as u16;
+    if crc16(payload) == expect {
+        Some(payload)
+    } else {
+        None
+    }
+}
+
+/// CRC-8 (poly 0x07, init 0x00) used as the PHY-header checksum over the
+/// 12 header content bits packed into two bytes (documented convention;
+/// both ends of this workspace's link use it consistently).
+pub fn crc8(data: &[u8]) -> u8 {
+    let mut crc: u8 = 0;
+    for &byte in data {
+        crc ^= byte;
+        for _ in 0..8 {
+            if crc & 0x80 != 0 {
+                crc = (crc << 1) ^ 0x07;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc16_check_value() {
+        // CRC-16/CCITT-FALSE("123456789") = 0x29B1 (standard check value).
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn crc16_empty_is_init() {
+        assert_eq!(crc16(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn append_then_check_roundtrip() {
+        let payload = b"fourteen bytes".to_vec();
+        let framed = append_crc16(&payload);
+        assert_eq!(framed.len(), payload.len() + 2);
+        assert_eq!(check_crc16(&framed), Some(payload.as_slice()));
+    }
+
+    #[test]
+    fn check_detects_any_single_bit_error() {
+        let framed = append_crc16(b"payload!");
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut bad = framed.clone();
+                bad[byte] ^= 1 << bit;
+                assert_eq!(check_crc16(&bad), None, "byte {byte} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn check_rejects_short_input() {
+        assert_eq!(check_crc16(&[0x12]), None);
+        assert_eq!(check_crc16(&[]), None);
+    }
+
+    #[test]
+    fn crc8_check_value() {
+        // CRC-8 (SMBus PEC polynomial, init 0): crc8("123456789") = 0xF4.
+        assert_eq!(crc8(b"123456789"), 0xF4);
+    }
+
+    #[test]
+    fn crc8_detects_single_bit_errors() {
+        let data = [0xA5u8, 0x3C];
+        let c = crc8(&data);
+        for byte in 0..2 {
+            for bit in 0..8 {
+                let mut bad = data;
+                bad[byte] ^= 1 << bit;
+                assert_ne!(crc8(&bad), c);
+            }
+        }
+    }
+}

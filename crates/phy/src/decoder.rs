@@ -1,0 +1,212 @@
+//! Symbols-to-bytes decoding: the default (non-BEC) decode path plus the
+//! intermediate representations BEC consumes.
+//!
+//! The split matters for TnB: BEC (in `tnb-core`) replaces only the
+//! per-block error-correction step; header parsing, de-whitening and the
+//! packet CRC gate live here and are shared by every scheme.
+
+use crate::block;
+use crate::crc::check_crc16;
+use crate::encoder::nibbles_to_bytes;
+use crate::hamming;
+use crate::header::{Header, HEADER_NIBBLES};
+use crate::params::{CodingRate, LoRaParams};
+use crate::whitening::whiten;
+
+/// Why a packet failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer symbols than the geometry requires.
+    TooShort,
+    /// The header checksum failed (or the CR field was invalid).
+    BadHeader,
+    /// The payload CRC-16 did not match.
+    BadCrc,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::TooShort => write!(f, "not enough symbols"),
+            DecodeError::BadHeader => write!(f, "header checksum failed"),
+            DecodeError::BadCrc => write!(f, "payload CRC mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// The header block after default Hamming decoding.
+#[derive(Debug, Clone)]
+pub struct DecodedHeader {
+    /// Parsed and checksum-validated header.
+    pub header: Header,
+    /// Payload nibbles carried in the header block (after the 5 header
+    /// nibbles).
+    pub extra_nibbles: Vec<u8>,
+    /// The raw received rows `R` of the header block (for BEC).
+    pub received_rows: Vec<u8>,
+}
+
+/// Decodes the 8 header symbols with the default decoder.
+pub fn decode_header(symbols: &[u16], params: &LoRaParams) -> Result<DecodedHeader, DecodeError> {
+    if symbols.len() < LoRaParams::HEADER_SYMBOLS {
+        return Err(DecodeError::TooShort);
+    }
+    let received_rows = block::receive_header_block(&symbols[..LoRaParams::HEADER_SYMBOLS], params);
+    let nibbles: Vec<u8> = received_rows
+        .iter()
+        .map(|&r| hamming::decode_default(r, CodingRate::CR4).nibble)
+        .collect();
+    let header = Header::from_nibbles(&nibbles[..HEADER_NIBBLES]).ok_or(DecodeError::BadHeader)?;
+    Ok(DecodedHeader {
+        header,
+        extra_nibbles: nibbles[HEADER_NIBBLES..].to_vec(),
+        received_rows,
+    })
+}
+
+/// Splits payload symbols into received blocks (rows `R` per block), given
+/// the payload CR from the header.
+pub fn received_payload_blocks(symbols: &[u16], params: &LoRaParams) -> Vec<Vec<u8>> {
+    symbols
+        .chunks_exact(params.cr.codeword_len())
+        .map(|chunk| block::receive_payload_block(chunk, params))
+        .collect()
+}
+
+/// Default-decodes one received block's rows into nibbles.
+pub fn default_decode_rows(rows: &[u8], cr: CodingRate) -> Vec<u8> {
+    rows.iter()
+        .map(|&r| hamming::decode_default(r, cr).nibble)
+        .collect()
+}
+
+/// Final assembly: takes all payload nibbles (header-block extras first),
+/// truncates to the advertised length, de-whitens and checks the CRC.
+/// Returns the payload bytes on success.
+pub fn assemble_payload(nibbles: &[u8], payload_len: usize) -> Result<Vec<u8>, DecodeError> {
+    let needed = 2 * (payload_len + 2);
+    if nibbles.len() < needed {
+        return Err(DecodeError::TooShort);
+    }
+    let bytes = nibbles_to_bytes(&nibbles[..needed]);
+    let clear = whiten(&bytes);
+    match check_crc16(&clear) {
+        Some(payload) => Ok(payload.to_vec()),
+        None => Err(DecodeError::BadCrc),
+    }
+}
+
+/// Complete default decode: header symbols followed by payload symbols.
+/// This is the reference `LoRaPHY` decode path (no BEC).
+pub fn decode_packet(symbols: &[u16], params: &LoRaParams) -> Result<Vec<u8>, DecodeError> {
+    let dh = decode_header(symbols, params)?;
+    // Payload blocks use the CR from the header.
+    let mut p = *params;
+    p.cr = dh.header.cr;
+    let needed_payload_symbols =
+        block::data_symbol_count(dh.header.payload_len as usize, &p) - LoRaParams::HEADER_SYMBOLS;
+    let rest = &symbols[LoRaParams::HEADER_SYMBOLS..];
+    if rest.len() < needed_payload_symbols {
+        return Err(DecodeError::TooShort);
+    }
+    let mut nibbles = dh.extra_nibbles.clone();
+    for rows in received_payload_blocks(&rest[..needed_payload_symbols], &p) {
+        nibbles.extend(default_decode_rows(&rows, p.cr));
+    }
+    assemble_payload(&nibbles, dh.header.payload_len as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::encode_packet_symbols;
+    use crate::params::SpreadingFactor;
+
+    fn roundtrip(sf: SpreadingFactor, cr: CodingRate, payload: &[u8]) {
+        let p = LoRaParams::new(sf, cr);
+        let symbols = encode_packet_symbols(payload, &p);
+        let got = decode_packet(&symbols, &p).expect("decode");
+        assert_eq!(got, payload, "sf={sf:?} cr={cr:?}");
+    }
+
+    #[test]
+    fn clean_roundtrip_all_sf_cr() {
+        let payload: Vec<u8> = (0..16).collect();
+        for sf in SpreadingFactor::ALL {
+            for cr in CodingRate::ALL {
+                roundtrip(sf, cr, &payload);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let p = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR3);
+        for len in [0usize, 1, 7, 16, 31, 64, 255] {
+            let payload: Vec<u8> = (0..len).map(|i| (i * 7 + 1) as u8).collect();
+            let symbols = encode_packet_symbols(&payload, &p);
+            assert_eq!(decode_packet(&symbols, &p).unwrap(), payload, "len={len}");
+        }
+    }
+
+    #[test]
+    fn single_bit_symbol_error_corrected_cr4() {
+        // A ±1-bin error on one payload symbol flips one Gray bit → a
+        // 1-bit row error the default CR4 decoder corrects.
+        let p = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+        let payload = b"sixteen bytes!!!".to_vec();
+        let mut symbols = encode_packet_symbols(&payload, &p);
+        let idx = LoRaParams::HEADER_SYMBOLS + 3;
+        symbols[idx] = (symbols[idx] + 1) % 256;
+        assert_eq!(decode_packet(&symbols, &p).unwrap(), payload);
+    }
+
+    #[test]
+    fn garbage_symbols_fail_crc_not_panic() {
+        let p = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR2);
+        let payload = vec![0x42; 16];
+        let mut symbols = encode_packet_symbols(&payload, &p);
+        for s in symbols.iter_mut().skip(LoRaParams::HEADER_SYMBOLS) {
+            *s = (*s).wrapping_mul(31).wrapping_add(97) % 256;
+        }
+        match decode_packet(&symbols, &p) {
+            Err(DecodeError::BadCrc) | Err(DecodeError::TooShort) => {}
+            other => panic!("expected CRC failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_header_reports_bad_header() {
+        let p = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+        let mut symbols = encode_packet_symbols(&[1, 2, 3, 4], &p);
+        // Smash several header symbols beyond the reduced-rate margin.
+        for s in symbols.iter_mut().take(4) {
+            *s = (*s + 128) % 256;
+        }
+        assert_eq!(decode_packet(&symbols, &p), Err(DecodeError::BadHeader));
+    }
+
+    #[test]
+    fn truncated_symbols_report_too_short() {
+        let p = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+        let symbols = encode_packet_symbols(&[9; 16], &p);
+        assert_eq!(
+            decode_packet(&symbols[..symbols.len() - 4], &p),
+            Err(DecodeError::TooShort)
+        );
+        assert_eq!(decode_packet(&symbols[..5], &p), Err(DecodeError::TooShort));
+    }
+
+    #[test]
+    fn header_cr_overrides_params_cr() {
+        // Encode with CR1 payload, decode with params claiming CR4: the
+        // header must win.
+        let enc = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR1);
+        let payload = b"cr from header!!".to_vec();
+        let symbols = encode_packet_symbols(&payload, &enc);
+        let dec = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+        assert_eq!(decode_packet(&symbols, &dec).unwrap(), payload);
+    }
+}

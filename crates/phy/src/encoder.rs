@@ -1,0 +1,108 @@
+//! Byte/nibble conversions and the full bytes-to-symbols encode path.
+
+use crate::block;
+use crate::crc::append_crc16;
+use crate::header::Header;
+use crate::params::LoRaParams;
+use crate::whitening::whiten;
+
+/// Splits bytes into nibbles, low nibble first (LoRa convention).
+pub fn bytes_to_nibbles(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(b & 0xF);
+        out.push(b >> 4);
+    }
+    out
+}
+
+/// Reassembles nibbles (low first) into bytes. A trailing odd nibble is
+/// ignored.
+pub fn nibbles_to_bytes(nibbles: &[u8]) -> Vec<u8> {
+    nibbles
+        .chunks_exact(2)
+        .map(|p| (p[0] & 0xF) | (p[1] << 4))
+        .collect()
+}
+
+/// Encodes a payload into the data symbol values (header block + payload
+/// blocks), without the preamble.
+///
+/// The payload is CRC-16-protected and whitened; the header is neither
+/// (paper §3: whitening applies to the payload; the header carries its own
+/// checksum).
+///
+/// # Panics
+/// Panics if `payload.len() > 255`.
+pub fn encode_packet_symbols(payload: &[u8], params: &LoRaParams) -> Vec<u16> {
+    assert!(payload.len() <= 255, "LoRa payload is at most 255 bytes");
+    let protected = whiten(&append_crc16(payload));
+    let data_nibbles = bytes_to_nibbles(&protected);
+
+    let header = Header {
+        payload_len: payload.len() as u8,
+        cr: params.cr,
+        has_crc: true,
+    };
+    let mut header_rows: Vec<u8> = header.to_nibbles().to_vec();
+    let in_header = block::header_block_payload_nibbles(params);
+    let take = in_header.min(data_nibbles.len());
+    header_rows.extend_from_slice(&data_nibbles[..take]);
+
+    let mut symbols = block::encode_header_block(&header_rows, params);
+    for chunk in data_nibbles[take..].chunks(params.payload_bits_per_symbol()) {
+        symbols.extend(block::encode_payload_block(chunk, params));
+    }
+    symbols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{CodingRate, SpreadingFactor};
+
+    #[test]
+    fn nibble_roundtrip() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(nibbles_to_bytes(&bytes_to_nibbles(&bytes)), bytes);
+    }
+
+    #[test]
+    fn nibble_order_low_first() {
+        assert_eq!(bytes_to_nibbles(&[0xAB]), vec![0xB, 0xA]);
+    }
+
+    #[test]
+    fn odd_trailing_nibble_ignored() {
+        assert_eq!(nibbles_to_bytes(&[0x1, 0x2, 0x3]), vec![0x21]);
+    }
+
+    #[test]
+    fn symbol_count_matches_block_math() {
+        for sf in [SpreadingFactor::SF8, SpreadingFactor::SF10] {
+            for cr in CodingRate::ALL {
+                let p = LoRaParams::new(sf, cr);
+                let payload = vec![0x5A; 16];
+                let symbols = encode_packet_symbols(&payload, &p);
+                assert_eq!(symbols.len(), block::data_symbol_count(16, &p));
+            }
+        }
+    }
+
+    #[test]
+    fn symbols_in_range() {
+        let p = LoRaParams::new(SpreadingFactor::SF7, CodingRate::CR1);
+        let symbols = encode_packet_symbols(b"hello world pad", &p);
+        for &s in &symbols {
+            assert!(s < 128);
+        }
+    }
+
+    #[test]
+    fn empty_payload_encodes() {
+        let p = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+        let symbols = encode_packet_symbols(&[], &p);
+        // 4 nibbles (CRC only): 1 in header block, 3 remaining → 1 block.
+        assert_eq!(symbols.len(), 8 + 8);
+    }
+}

@@ -1,0 +1,120 @@
+//! Full-packet framing and the [`Transmitter`].
+//!
+//! A LoRa packet on the air (paper §3 and artifact appendix B.3.4):
+//! 8 base upchirps, 2 sync symbols (values 8 and 16), 2.25 downchirps,
+//! then the 8 header symbols and the payload symbols.
+
+use crate::chirp::ChirpTable;
+use crate::encoder::encode_packet_symbols;
+use crate::modulate::modulate_symbols;
+use crate::params::LoRaParams;
+use tnb_dsp::Complex32;
+
+/// A complete LoRa transmitter for one parameter set.
+#[derive(Debug, Clone)]
+pub struct Transmitter {
+    params: LoRaParams,
+    chirps: ChirpTable,
+}
+
+impl Transmitter {
+    /// Builds a transmitter.
+    pub fn new(params: LoRaParams) -> Self {
+        Transmitter {
+            chirps: ChirpTable::new(&params),
+            params,
+        }
+    }
+
+    /// The parameter set.
+    #[inline]
+    pub fn params(&self) -> &LoRaParams {
+        &self.params
+    }
+
+    /// Appends the preamble waveform (8 upchirps + 2 sync + 2.25
+    /// downchirps) to `out`.
+    pub fn write_preamble(&self, out: &mut Vec<Complex32>) {
+        for _ in 0..LoRaParams::PREAMBLE_UPCHIRPS {
+            self.chirps.write_symbol(0, out);
+        }
+        for &sync in &LoRaParams::SYNC_VALUES {
+            self.chirps.write_symbol(sync, out);
+        }
+        let quarter = self.params.samples_per_symbol() / 4;
+        self.chirps.write_downchirps(2, quarter, out);
+    }
+
+    /// Encodes `payload` and returns the data symbol values (header +
+    /// payload blocks), as transmitted after the preamble.
+    pub fn data_symbols(&self, payload: &[u8]) -> Vec<u16> {
+        encode_packet_symbols(payload, &self.params)
+    }
+
+    /// Modulates a complete packet (preamble + data symbols) to baseband
+    /// samples at the receiver rate (`BW · OSF`).
+    pub fn transmit(&self, payload: &[u8]) -> Vec<Complex32> {
+        let symbols = self.data_symbols(payload);
+        let mut out = Vec::with_capacity(
+            self.params.preamble_samples() + symbols.len() * self.params.samples_per_symbol(),
+        );
+        self.write_preamble(&mut out);
+        modulate_symbols(&self.chirps, &symbols, &mut out);
+        out
+    }
+
+    /// Total packet duration in samples for a payload of `len` bytes.
+    pub fn packet_samples(&self, len: usize) -> usize {
+        self.params.preamble_samples()
+            + crate::block::data_symbol_count(len, &self.params) * self.params.samples_per_symbol()
+    }
+
+    /// Total packet airtime in seconds for a payload of `len` bytes.
+    pub fn packet_airtime(&self, len: usize) -> f64 {
+        self.packet_samples(len) as f64 / self.params.sample_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{CodingRate, SpreadingFactor};
+
+    #[test]
+    fn packet_length_matches_prediction() {
+        for sf in [SpreadingFactor::SF8, SpreadingFactor::SF10] {
+            for cr in CodingRate::ALL {
+                let tx = Transmitter::new(LoRaParams::new(sf, cr));
+                let payload = vec![7u8; 16];
+                let wave = tx.transmit(&payload);
+                assert_eq!(wave.len(), tx.packet_samples(16), "sf={sf:?} cr={cr:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn airtime_sf10_longer_than_sf8() {
+        // Paper §8.3: "the packet duration is longer with SF 10, resulting
+        // in more collisions".
+        let t8 = Transmitter::new(LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4));
+        let t10 = Transmitter::new(LoRaParams::new(SpreadingFactor::SF10, CodingRate::CR4));
+        assert!(t10.packet_airtime(16) > 2.5 * t8.packet_airtime(16));
+    }
+
+    #[test]
+    fn preamble_is_12_25_symbols() {
+        let tx = Transmitter::new(LoRaParams::new(SpreadingFactor::SF7, CodingRate::CR1));
+        let mut pre = Vec::new();
+        tx.write_preamble(&mut pre);
+        let l = tx.params().samples_per_symbol();
+        assert_eq!(pre.len() * 4, 49 * l); // 12.25 symbols
+    }
+
+    #[test]
+    fn unit_amplitude_everywhere() {
+        let tx = Transmitter::new(LoRaParams::new(SpreadingFactor::SF7, CodingRate::CR2));
+        for z in tx.transmit(b"abc") {
+            assert!((z.abs() - 1.0).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Gray mapping between symbol values (FFT bins) and bit words.
+//!
+//! LoRa Gray-maps symbol values so that a ±1-bin demodulation error flips a
+//! single bit. Convention used throughout this workspace (documented in
+//! DESIGN.md): the receiver computes `bits = gray(h)` with
+//! `gray(x) = x ^ (x >> 1)`; the transmitter sends `h = gray⁻¹(bits)`.
+//!
+//! Header symbols use LoRa's *reduced-rate* mapping: they carry `SF − 2`
+//! bits, and the symbol value is a multiple of 4 (`h = gray⁻¹(bits) · 4`),
+//! so the receiver can round `h/4` and tolerate up to ±2-bin errors on the
+//! header.
+
+/// Binary-reflected Gray code of `x`.
+#[inline]
+pub fn gray(x: u16) -> u16 {
+    x ^ (x >> 1)
+}
+
+/// Inverse Gray code: `gray_inv(gray(x)) == x`.
+#[inline]
+pub fn gray_inv(g: u16) -> u16 {
+    let mut x = g;
+    let mut shift = 1;
+    while shift < 16 {
+        x ^= x >> shift;
+        shift <<= 1;
+    }
+    x
+}
+
+/// Maps an `sf`-bit word to the symbol value to transmit (full rate).
+#[inline]
+pub fn bits_to_symbol(word: u16, sf: usize) -> u16 {
+    debug_assert!(word < (1 << sf));
+    gray_inv(word) & ((1 << sf) - 1)
+}
+
+/// Maps a demodulated symbol value back to its `sf`-bit word (full rate).
+#[inline]
+pub fn symbol_to_bits(symbol: u16, sf: usize) -> u16 {
+    gray(symbol & ((1 << sf) - 1) as u16)
+}
+
+/// Reduced-rate (header) mapping: an `(sf-2)`-bit word to a symbol value
+/// that is a multiple of 4.
+#[inline]
+pub fn bits_to_symbol_reduced(word: u16, sf: usize) -> u16 {
+    debug_assert!(word < (1 << (sf - 2)));
+    (gray_inv(word) << 2) & ((1 << sf) - 1) as u16
+}
+
+/// Reduced-rate (header) demapping: rounds the symbol value to the nearest
+/// multiple of 4 (mod `2^sf`) before un-Gray-coding, absorbing ±2-bin
+/// errors.
+#[inline]
+pub fn symbol_to_bits_reduced(symbol: u16, sf: usize) -> u16 {
+    let n = 1u32 << sf;
+    let rounded = (((symbol as u32) + 2) / 4) % (n / 4);
+    gray(rounded as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_first_values() {
+        let expected = [0u16, 1, 3, 2, 6, 7, 5, 4];
+        for (x, &g) in expected.iter().enumerate() {
+            assert_eq!(gray(x as u16), g);
+        }
+    }
+
+    #[test]
+    fn gray_roundtrip_all_12bit() {
+        for x in 0u16..4096 {
+            assert_eq!(gray_inv(gray(x)), x);
+        }
+    }
+
+    #[test]
+    fn adjacent_symbols_differ_in_one_bit() {
+        let sf = 8;
+        for h in 0u16..255 {
+            let a = symbol_to_bits(h, sf);
+            let b = symbol_to_bits(h + 1, sf);
+            assert_eq!((a ^ b).count_ones(), 1, "h={h}");
+        }
+    }
+
+    #[test]
+    fn full_rate_roundtrip() {
+        for sf in 7..=12 {
+            for w in (0..(1u32 << sf)).step_by(7) {
+                let h = bits_to_symbol(w as u16, sf);
+                assert!(h < (1 << sf));
+                assert_eq!(symbol_to_bits(h, sf), w as u16, "sf={sf} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_rate_roundtrip() {
+        for sf in 7usize..=12 {
+            for w in 0..(1u32 << (sf - 2)) {
+                let h = bits_to_symbol_reduced(w as u16, sf);
+                assert_eq!(h % 4, 0);
+                assert!(h < (1 << sf));
+                assert_eq!(symbol_to_bits_reduced(h, sf), w as u16, "sf={sf} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_rate_tolerates_small_bin_errors() {
+        let sf = 8;
+        for w in 0..(1u16 << (sf - 2)) {
+            let h = bits_to_symbol_reduced(w, sf);
+            let n = 1u16 << sf;
+            for err in [-2i32, -1, 0, 1] {
+                let noisy = ((h as i32 + err).rem_euclid(n as i32)) as u16;
+                assert_eq!(symbol_to_bits_reduced(noisy, sf), w, "w={w} err={err}");
+            }
+        }
+    }
+}

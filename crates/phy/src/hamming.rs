@@ -1,0 +1,390 @@
+//! The (8,4) Hamming code used by LoRa (paper §3) and its *default*
+//! decoder, plus the code-structure queries BEC builds on (codeword tables,
+//! minimum-distance decoding, masked matching, companions).
+//!
+//! # Bit/column convention
+//!
+//! The paper writes codewords as rows `c₁ c₂ … c₈` where `c₁..c₄` are the
+//! data bits. We store a codeword in a `u8` with paper column `cⱼ` at bit
+//! position `j−1` (LSB-first). A data nibble `d` therefore occupies the low
+//! 4 bits, and `encode(d) & 0xF == d` (the code is systematic).
+//!
+//! The generator matrix (paper §3):
+//!
+//! ```text
+//! 1 0 0 0 1 0 1 1
+//! 0 1 0 0 1 1 1 0
+//! 0 0 1 0 1 1 0 1
+//! 0 0 0 1 0 1 1 1
+//! ```
+//!
+//! With CR < 4 only the first `4 + CR` columns are transmitted; CR 1 is
+//! special: the single extra bit is the checksum (XOR) of the 4 data bits.
+
+use crate::params::CodingRate;
+
+/// Generator rows as LSB-first column masks: row `i` is the codeword for
+/// data nibble `1 << i`.
+pub const GENERATOR_ROWS: [u8; 4] = [
+    0b1101_0001, // c1, c5, c7, c8
+    0b0111_0010, // c2, c5, c6, c7
+    0b1011_0100, // c3, c5, c6, c8
+    0b1110_1000, // c4, c6, c7, c8
+];
+
+/// Encodes a data nibble (low 4 bits) into the full 8-bit codeword.
+#[inline]
+pub fn encode_full(nibble: u8) -> u8 {
+    let mut cw = 0u8;
+    for (i, row) in GENERATOR_ROWS.iter().enumerate() {
+        if nibble & (1 << i) != 0 {
+            cw ^= row;
+        }
+    }
+    cw
+}
+
+/// Encodes a nibble into the transmitted codeword for the given coding
+/// rate: the first `4 + CR` columns, except CR 1 where the parity column is
+/// the checksum of the data bits.
+#[inline]
+pub fn encode(nibble: u8, cr: CodingRate) -> u8 {
+    let nibble = nibble & 0xF;
+    match cr {
+        CodingRate::CR1 => {
+            let parity = (nibble.count_ones() as u8) & 1;
+            nibble | (parity << 4)
+        }
+        _ => encode_full(nibble) & cw_mask(cr),
+    }
+}
+
+/// Bit mask covering the transmitted columns of a CR's codeword.
+#[inline]
+pub fn cw_mask(cr: CodingRate) -> u8 {
+    ((1u16 << cr.codeword_len()) - 1) as u8
+}
+
+/// The 16 transmitted codewords for a coding rate, indexed by data nibble.
+pub fn codeword_table(cr: CodingRate) -> [u8; 16] {
+    let mut t = [0u8; 16];
+    for (d, slot) in t.iter_mut().enumerate() {
+        *slot = encode(d as u8, cr);
+    }
+    t
+}
+
+/// Data nibble of a codeword (the code is systematic).
+#[inline]
+pub fn codeword_data(cw: u8) -> u8 {
+    cw & 0xF
+}
+
+/// Minimum Hamming distance of the transmitted code at a coding rate.
+///
+/// CR 1 and CR 2 have distance 2 (1-bit detection); CR 3 has distance 3 and
+/// CR 4 distance 4 (1-bit correction), per paper §3.
+pub fn min_distance(cr: CodingRate) -> u32 {
+    let table = codeword_table(cr);
+    let mut best = u32::MAX;
+    for i in 0..16 {
+        for j in (i + 1)..16 {
+            best = best.min((table[i] ^ table[j]).count_ones());
+        }
+    }
+    best
+}
+
+/// Result of decoding one received row with the default decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefaultDecode {
+    /// Decoded data nibble.
+    pub nibble: u8,
+    /// The codeword the row was snapped to (the "cleaned" row Γᵢ).
+    pub cleaned: u8,
+    /// Hamming distance between the received row and the cleaned row.
+    pub distance: u32,
+}
+
+/// The default LoRa decoder: snap the received row to the closest codeword
+/// (minimum Hamming distance; ties broken toward the smallest codeword
+/// value — the paper notes the choice is arbitrary).
+///
+/// This produces the paper's *cleaned block* Γ row by row.
+pub fn decode_default(row: u8, cr: CodingRate) -> DefaultDecode {
+    let row = row & cw_mask(cr);
+    let table = codeword_table(cr);
+    let mut best = DefaultDecode {
+        nibble: 0,
+        cleaned: table[0],
+        distance: (row ^ table[0]).count_ones(),
+    };
+    for (d, &cw) in table.iter().enumerate().skip(1) {
+        let dist = (row ^ cw).count_ones();
+        if dist < best.distance || (dist == best.distance && cw < best.cleaned) {
+            best = DefaultDecode {
+                nibble: d as u8,
+                cleaned: cw,
+                distance: dist,
+            };
+        }
+    }
+    best
+}
+
+/// Whether a CR-1 row passes its parity check.
+#[inline]
+pub fn cr1_parity_ok(row: u8) -> bool {
+    (row & 0x1F).count_ones().is_multiple_of(2)
+}
+
+/// Finds the unique codeword that matches `row` on all columns *not* in
+/// `mask` (a bit mask of masked columns). Returns `None` if no codeword
+/// matches.
+///
+/// Uniqueness holds whenever `mask` has fewer set bits than the code's
+/// minimum distance, which is the only regime BEC uses (repair method Δ₁).
+pub fn codeword_matching_masked(row: u8, mask: u8, cr: CodingRate) -> Option<u8> {
+    let keep = cw_mask(cr) & !mask;
+    codeword_table(cr)
+        .into_iter()
+        .find(|cw| (cw ^ row) & keep == 0)
+}
+
+/// All *companions* of the column set `cols` (0-indexed) for a coding rate:
+/// column sets `Π'`, disjoint from `Π = cols`, such that the indicator
+/// vector of `Π ∪ Π'` is a codeword — equivalently, the supports of the
+/// minimum-weight (weight = `4 + CR` minus... weight = code minimum
+/// distance) codewords containing `Π` (paper §6.2, §A.1). Satisfies
+/// `|Π| + |Π'| = min_distance`.
+pub fn companions(cols: &[usize], cr: CodingRate) -> Vec<Vec<usize>> {
+    let pi_mask: u8 = cols.iter().fold(0u8, |m, &c| m | (1 << c));
+    let want_weight = min_distance(cr);
+    let mut out = Vec::new();
+    for cw in codeword_table(cr) {
+        if cw == 0 || cw.count_ones() != want_weight {
+            continue;
+        }
+        if cw & pi_mask == pi_mask {
+            let extra = cw & !pi_mask;
+            let cols: Vec<usize> = (0..8).filter(|&b| extra & (1 << b) != 0).collect();
+            out.push(cols);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CodingRate::*;
+
+    #[test]
+    fn paper_example_data_1001() {
+        // Paper §3: data '1001' (d1=1, d4=1) → complete codeword '10011100'
+        // = columns {1, 4, 5, 6}.
+        let nibble = 0b1001; // d1 at bit 0, d4 at bit 3
+        let cw = encode_full(nibble);
+        let expected = (1 << 0) | (1 << 3) | (1 << 4) | (1 << 5);
+        assert_eq!(cw, expected);
+        // CR 3 transmits '1001110' (first 7 columns).
+        assert_eq!(encode(nibble, CR3), expected & 0x7F);
+    }
+
+    #[test]
+    fn systematic() {
+        for d in 0..16u8 {
+            assert_eq!(encode_full(d) & 0xF, d);
+            for cr in CodingRate::ALL {
+                assert_eq!(codeword_data(encode(d, cr)), d);
+            }
+        }
+    }
+
+    #[test]
+    fn min_distances_match_paper() {
+        assert_eq!(min_distance(CR1), 2);
+        assert_eq!(min_distance(CR2), 2);
+        assert_eq!(min_distance(CR3), 3);
+        assert_eq!(min_distance(CR4), 4);
+    }
+
+    #[test]
+    fn full_code_weight_enumerator() {
+        // (8,4) extended Hamming: 1 word of weight 0, 14 of weight 4, 1 of
+        // weight 8.
+        let mut counts = [0usize; 9];
+        for d in 0..16u8 {
+            counts[encode_full(d).count_ones() as usize] += 1;
+        }
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[4], 14);
+        assert_eq!(counts[8], 1);
+    }
+
+    #[test]
+    fn cr1_parity() {
+        for d in 0..16u8 {
+            assert!(cr1_parity_ok(encode(d, CR1)));
+            // Flipping any single bit breaks parity.
+            for b in 0..5 {
+                assert!(!cr1_parity_ok(encode(d, CR1) ^ (1 << b)));
+            }
+        }
+    }
+
+    #[test]
+    fn default_decoder_corrects_single_bit_cr3_cr4() {
+        for cr in [CR3, CR4] {
+            for d in 0..16u8 {
+                let cw = encode(d, cr);
+                for b in 0..cr.codeword_len() {
+                    let corrupted = cw ^ (1 << b);
+                    let r = decode_default(corrupted, cr);
+                    assert_eq!(r.nibble, d, "cr={cr:?} d={d} b={b}");
+                    assert_eq!(r.cleaned, cw);
+                    assert_eq!(r.distance, 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_decoder_clean_input_distance_zero() {
+        for cr in CodingRate::ALL {
+            for d in 0..16u8 {
+                let r = decode_default(encode(d, cr), cr);
+                assert_eq!(r.nibble, d);
+                assert_eq!(r.distance, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn cr2_single_bit_error_cleans_within_one_bit() {
+        // Paper §6.5: "a row in R and the corresponding row in Γ differ by
+        // at most one bit" for CR 2 (distance-2 code: any row is within 1
+        // of some codeword).
+        for d in 0..16u8 {
+            let cw = encode(d, CR2);
+            for b in 0..6 {
+                let r = decode_default(cw ^ (1 << b), CR2);
+                assert!(r.distance <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn cr4_two_bit_error_cleans_within_two_bits() {
+        // Paper §6.7: for CR 4 rows of R and Γ differ by at most two bits.
+        for d in 0..16u8 {
+            let cw = encode(d, CR4);
+            for b1 in 0..8 {
+                for b2 in 0..8 {
+                    let r = decode_default(cw ^ (1 << b1) ^ (1 << b2), CR4);
+                    assert!(r.distance <= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn companions_cr2_pairs_match_paper() {
+        // Paper §A.1: companion pairs are (c1,c5), (c2,c3), (c4,c6)
+        // — 0-indexed: (0,4), (1,2), (3,5).
+        assert_eq!(companions(&[0], CR2), vec![vec![4]]);
+        assert_eq!(companions(&[4], CR2), vec![vec![0]]);
+        assert_eq!(companions(&[1], CR2), vec![vec![2]]);
+        assert_eq!(companions(&[3], CR2), vec![vec![5]]);
+    }
+
+    #[test]
+    fn companions_cr3_of_c2_c7_is_c3() {
+        // Paper §6.1 (Fig. 7): the companion of {c2, c7} is {c3}
+        // — 0-indexed: companion of {1, 6} is {2}.
+        assert_eq!(companions(&[1, 6], CR3), vec![vec![2]]);
+        // And symmetric statements from §6.1: c2 is the companion of
+        // {c3, c7}; c7 is the companion of {c2, c3}.
+        assert_eq!(companions(&[2, 6], CR3), vec![vec![1]]);
+        assert_eq!(companions(&[1, 2], CR3), vec![vec![6]]);
+    }
+
+    #[test]
+    fn companions_cr3_pair_unique() {
+        // §A.1: for CR 3 and |Π| = 2 the companion is a single column and
+        // unique.
+        for a in 0..7 {
+            for b in (a + 1)..7 {
+                let comps = companions(&[a, b], CR3);
+                assert!(comps.len() <= 1, "cols ({a},{b}): {comps:?}");
+                if let Some(c) = comps.first() {
+                    assert_eq!(c.len(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn companions_cr4_of_c1_c2_matches_paper() {
+        // Paper §A.1: companions of {c1,c2} are {c6,c8}, {c3,c5}, {c4,c7}
+        // — 0-indexed: {5,7}, {2,4}, {3,6}.
+        let mut comps = companions(&[0, 1], CR4);
+        comps.sort();
+        assert_eq!(comps, vec![vec![2, 4], vec![3, 6], vec![5, 7]]);
+    }
+
+    #[test]
+    fn companions_cr4_every_pair_has_three() {
+        // §A.1: with CR 4 and |Π| = 2, Π has 3 possible companions.
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                assert_eq!(companions(&[a, b], CR4).len(), 3, "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn companions_cr4_triple_unique() {
+        // §A.1: for CR 4 and |Π| = 3 the companion is one column, unique.
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                for c in (b + 1)..8 {
+                    let comps = companions(&[a, b, c], CR4);
+                    assert_eq!(comps.len(), 1, "({a},{b},{c})");
+                    assert_eq!(comps[0].len(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_match_recovers_codeword() {
+        for cr in [CR2, CR3, CR4] {
+            let dmin = min_distance(cr);
+            for d in 0..16u8 {
+                let cw = encode(d, cr);
+                // Mask up to dmin-1 columns and corrupt them arbitrarily:
+                // the original codeword must be recovered.
+                for mask_cols in 0..cr.codeword_len() {
+                    let mask = 1u8 << mask_cols;
+                    if mask.count_ones() >= dmin {
+                        continue;
+                    }
+                    let corrupted = cw ^ mask;
+                    let found = codeword_matching_masked(corrupted, mask, cr);
+                    assert_eq!(found, Some(cw));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_match_none_when_no_codeword_fits() {
+        // Corrupt 2 unmasked columns of a CR4 codeword while masking 1
+        // other column: since dmin = 4, no codeword can match.
+        let cw = encode(0b0110, CR4);
+        let corrupted = cw ^ 0b11; // flip c1, c2
+        let mask = 1 << 7; // mask c8
+        assert_eq!(codeword_matching_masked(corrupted, mask, CR4), None);
+    }
+}

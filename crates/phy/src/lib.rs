@@ -1,0 +1,25 @@
+//! Complete LoRa PHY layer (substrate for TnB).
+//!
+//! Implements everything between payload bytes and baseband IQ samples:
+//! chirp modulation/demodulation, Gray mapping, the diagonal interleaver,
+//! the (8,4) Hamming code (generator matrix from the paper §3), whitening,
+//! the PHY header, and the payload CRC — composed into a [`Transmitter`]
+//! and a standard single-packet receiver used as the `LoRaPHY` baseline.
+
+pub mod block;
+pub mod chirp;
+pub mod crc;
+pub mod decoder;
+pub mod demodulate;
+pub mod encoder;
+pub mod frame;
+pub mod gray;
+pub mod hamming;
+pub mod header;
+pub mod interleaver;
+pub mod modulate;
+pub mod params;
+pub mod whitening;
+
+pub use frame::Transmitter;
+pub use params::{CodingRate, LoRaParams, SpreadingFactor};

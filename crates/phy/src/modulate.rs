@@ -1,0 +1,36 @@
+//! Symbol-to-waveform modulation: concatenates cyclically shifted upchirps.
+
+use crate::chirp::ChirpTable;
+use tnb_dsp::Complex32;
+
+/// Appends the waveform of each symbol in `symbols` to `out`.
+pub fn modulate_symbols(table: &ChirpTable, symbols: &[u16], out: &mut Vec<Complex32>) {
+    out.reserve(symbols.len() * table.samples_per_symbol());
+    for &h in symbols {
+        table.write_symbol(h, out);
+    }
+}
+
+/// Returns the waveform of a symbol sequence.
+pub fn modulate(table: &ChirpTable, symbols: &[u16]) -> Vec<Complex32> {
+    let mut out = Vec::new();
+    modulate_symbols(table, symbols, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{CodingRate, LoRaParams, SpreadingFactor};
+
+    #[test]
+    fn length_and_content() {
+        let p = LoRaParams::new(SpreadingFactor::SF7, CodingRate::CR4);
+        let t = ChirpTable::new(&p);
+        let symbols = [0u16, 5, 127];
+        let wave = modulate(&t, &symbols);
+        assert_eq!(wave.len(), 3 * p.samples_per_symbol());
+        let l = p.samples_per_symbol();
+        assert_eq!(&wave[l..2 * l], t.symbol(5).as_slice());
+    }
+}

@@ -1,0 +1,272 @@
+//! LoRa PHY parameters (paper §3 and Table 3).
+
+/// LoRa spreading factor. A symbol carries `SF` bits and spans `2^SF`
+/// chips.
+///
+/// SF 6 is excluded: it requires LoRa's implicit-header mode (the SF−2-row
+/// header block cannot hold the 5 header nibbles), which the paper does not
+/// evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpreadingFactor {
+    SF7,
+    SF8,
+    SF9,
+    SF10,
+    SF11,
+    SF12,
+}
+
+impl SpreadingFactor {
+    /// Numeric spreading factor (7..=12).
+    #[inline]
+    pub const fn value(self) -> usize {
+        match self {
+            SpreadingFactor::SF7 => 7,
+            SpreadingFactor::SF8 => 8,
+            SpreadingFactor::SF9 => 9,
+            SpreadingFactor::SF10 => 10,
+            SpreadingFactor::SF11 => 11,
+            SpreadingFactor::SF12 => 12,
+        }
+    }
+
+    /// Number of chips per symbol, `2^SF`.
+    #[inline]
+    pub const fn chips(self) -> usize {
+        1 << self.value()
+    }
+
+    /// Builds from a numeric value.
+    pub fn from_value(v: usize) -> Option<Self> {
+        Some(match v {
+            7 => SpreadingFactor::SF7,
+            8 => SpreadingFactor::SF8,
+            9 => SpreadingFactor::SF9,
+            10 => SpreadingFactor::SF10,
+            11 => SpreadingFactor::SF11,
+            12 => SpreadingFactor::SF12,
+            _ => return None,
+        })
+    }
+
+    /// All supported spreading factors, ascending.
+    pub const ALL: [SpreadingFactor; 6] = [
+        SpreadingFactor::SF7,
+        SpreadingFactor::SF8,
+        SpreadingFactor::SF9,
+        SpreadingFactor::SF10,
+        SpreadingFactor::SF11,
+        SpreadingFactor::SF12,
+    ];
+}
+
+/// LoRa coding rate: the number of Hamming parity bits transmitted per
+/// 4-data-bit codeword (paper §3). CR 1 transmits a single checksum bit
+/// instead of a Hamming parity bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CodingRate {
+    CR1,
+    CR2,
+    CR3,
+    CR4,
+}
+
+impl CodingRate {
+    /// Number of parity bits per codeword (1..=4).
+    #[inline]
+    pub const fn value(self) -> usize {
+        match self {
+            CodingRate::CR1 => 1,
+            CodingRate::CR2 => 2,
+            CodingRate::CR3 => 3,
+            CodingRate::CR4 => 4,
+        }
+    }
+
+    /// Transmitted codeword length, `4 + CR`.
+    #[inline]
+    pub const fn codeword_len(self) -> usize {
+        4 + self.value()
+    }
+
+    /// Builds from a numeric value.
+    pub fn from_value(v: usize) -> Option<Self> {
+        Some(match v {
+            1 => CodingRate::CR1,
+            2 => CodingRate::CR2,
+            3 => CodingRate::CR3,
+            4 => CodingRate::CR4,
+            _ => return None,
+        })
+    }
+
+    /// All coding rates, ascending.
+    pub const ALL: [CodingRate; 4] = [
+        CodingRate::CR1,
+        CodingRate::CR2,
+        CodingRate::CR3,
+        CodingRate::CR4,
+    ];
+}
+
+/// Complete parameter set for a LoRa link.
+///
+/// Defaults match the paper's Table 3: 125 kHz bandwidth, over-sampling
+/// factor 8 at the receiver (so traces are sampled at 1 Msps, as the
+/// paper's USRP B210 recorded).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoRaParams {
+    /// Spreading factor.
+    pub sf: SpreadingFactor,
+    /// Coding rate used by the payload (the header always uses CR 4).
+    pub cr: CodingRate,
+    /// Signal bandwidth in Hz.
+    pub bandwidth: f64,
+    /// Over-sampling factor `U`: receiver samples per transmitted chip.
+    pub osf: usize,
+    /// Low Data Rate Optimization: payload symbols carry `SF − 2` bits
+    /// (reduced-rate mapping), making them robust to timing drift over
+    /// very long symbols. LoRa mandates it for SF 11/12 at 125 kHz, which
+    /// is what [`LoRaParams::new`] applies.
+    pub ldro: bool,
+}
+
+impl LoRaParams {
+    /// Creates parameters with the paper's defaults (BW 125 kHz, OSF 8)
+    /// and LoRa's standard LDRO rule (on for symbol times ≥ 16.38 ms,
+    /// i.e. SF 11/12 at 125 kHz).
+    pub fn new(sf: SpreadingFactor, cr: CodingRate) -> Self {
+        let mut p = LoRaParams {
+            sf,
+            cr,
+            bandwidth: 125_000.0,
+            osf: 8,
+            ldro: false,
+        };
+        p.ldro = p.symbol_time() >= 16.38e-3;
+        p
+    }
+
+    /// Bits carried by one payload symbol (`SF`, or `SF − 2` under LDRO).
+    #[inline]
+    pub fn payload_bits_per_symbol(&self) -> usize {
+        if self.ldro {
+            self.sf.value() - 2
+        } else {
+            self.sf.value()
+        }
+    }
+
+    /// Chips per symbol, `N = 2^SF`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.sf.chips()
+    }
+
+    /// Receiver samples per symbol, `N · U`.
+    #[inline]
+    pub fn samples_per_symbol(&self) -> usize {
+        self.n() * self.osf
+    }
+
+    /// Receiver sample rate in Hz, `BW · U`.
+    #[inline]
+    pub fn sample_rate(&self) -> f64 {
+        self.bandwidth * self.osf as f64
+    }
+
+    /// Symbol duration in seconds, `N / BW`.
+    #[inline]
+    pub fn symbol_time(&self) -> f64 {
+        self.n() as f64 / self.bandwidth
+    }
+
+    /// FFT-bin spacing expressed in Hz: one bin of the length-`N` signal
+    /// vector corresponds to `BW / N` Hz (equivalently `1/T`).
+    #[inline]
+    pub fn bin_hz(&self) -> f64 {
+        self.bandwidth / self.n() as f64
+    }
+
+    /// Number of preamble base upchirps (paper §3: "typically starts with 8
+    /// upchirps").
+    pub const PREAMBLE_UPCHIRPS: usize = 8;
+    /// Number of sync symbols after the upchirps.
+    pub const SYNC_SYMBOLS: usize = 2;
+    /// Sync symbol values: the artifact appendix gives peaks at bins 9 and
+    /// 17 in MATLAB's 1-based indexing, i.e. symbol values 8 and 16.
+    pub const SYNC_VALUES: [u16; 2] = [8, 16];
+    /// Downchirps at the end of the preamble, in symbol units (2.25).
+    pub const DOWNCHIRP_SYMBOLS: f64 = 2.25;
+    /// PHY header length in symbols (paper §3: 8 symbols at CR 4).
+    pub const HEADER_SYMBOLS: usize = 8;
+
+    /// Total preamble length in receiver samples (8 upchirps + 2 sync +
+    /// 2.25 downchirps).
+    #[inline]
+    pub fn preamble_samples(&self) -> usize {
+        let l = self.samples_per_symbol();
+        (Self::PREAMBLE_UPCHIRPS + Self::SYNC_SYMBOLS) * l + l * 9 / 4
+    }
+
+    /// Length of the whole preamble in symbol periods (12.25).
+    #[inline]
+    pub fn preamble_symbols(&self) -> f64 {
+        (Self::PREAMBLE_UPCHIRPS + Self::SYNC_SYMBOLS) as f64 + Self::DOWNCHIRP_SYMBOLS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sf_values() {
+        assert_eq!(SpreadingFactor::SF8.value(), 8);
+        assert_eq!(SpreadingFactor::SF8.chips(), 256);
+        assert_eq!(SpreadingFactor::SF10.chips(), 1024);
+        assert_eq!(SpreadingFactor::from_value(9), Some(SpreadingFactor::SF9));
+        assert_eq!(SpreadingFactor::from_value(6), None);
+        assert_eq!(SpreadingFactor::from_value(13), None);
+    }
+
+    #[test]
+    fn cr_values() {
+        assert_eq!(CodingRate::CR3.value(), 3);
+        assert_eq!(CodingRate::CR3.codeword_len(), 7);
+        assert_eq!(CodingRate::from_value(4), Some(CodingRate::CR4));
+        assert_eq!(CodingRate::from_value(0), None);
+    }
+
+    #[test]
+    fn ldro_rule_matches_lora_spec() {
+        use crate::params::CodingRate::CR4;
+        for sf in SpreadingFactor::ALL {
+            let p = LoRaParams::new(sf, CR4);
+            let expect = sf.value() >= 11; // symbol time ≥ 16.38 ms at 125 kHz
+            assert_eq!(p.ldro, expect, "sf={sf:?}");
+            assert_eq!(
+                p.payload_bits_per_symbol(),
+                if expect { sf.value() - 2 } else { sf.value() }
+            );
+        }
+    }
+
+    #[test]
+    fn derived_quantities_sf8() {
+        let p = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+        assert_eq!(p.n(), 256);
+        assert_eq!(p.samples_per_symbol(), 2048);
+        assert_eq!(p.sample_rate(), 1_000_000.0);
+        assert!((p.symbol_time() - 2.048e-3).abs() < 1e-9);
+        assert!((p.bin_hz() - 488.28125).abs() < 1e-6);
+    }
+
+    #[test]
+    fn preamble_length() {
+        let p = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR1);
+        // 12.25 symbols of 2048 samples = 25088.
+        assert_eq!(p.preamble_samples(), 25088);
+        assert!((p.preamble_symbols() - 12.25).abs() < 1e-12);
+    }
+}

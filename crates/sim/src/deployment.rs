@@ -1,0 +1,140 @@
+//! The paper's three testbed deployments (§8.1, Fig. 9/10).
+//!
+//! The paper deployed 19 (Indoor) and 25 (Outdoor 1, Outdoor 2) Adafruit
+//! RFM95 nodes around a USRP sniffer. We model each deployment by its
+//! node count and a per-node SNR distribution calibrated to the CDFs of
+//! Fig. 10: SNRs within one deployment spread by more than 20 dB, the
+//! outdoor deployments skew lower than the indoor one, and the same
+//! node's packets vary by several dB within a run.
+
+use rand::Rng;
+
+/// One of the paper's testbeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Deployment {
+    /// 19 nodes inside a building (Fig. 9b).
+    Indoor,
+    /// 25 nodes, first outdoor layout (Fig. 9c).
+    Outdoor1,
+    /// 25 nodes, second outdoor layout (Fig. 9d).
+    Outdoor2,
+}
+
+impl Deployment {
+    /// All deployments in paper order.
+    pub const ALL: [Deployment; 3] = [
+        Deployment::Indoor,
+        Deployment::Outdoor1,
+        Deployment::Outdoor2,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Deployment::Indoor => "Indoor",
+            Deployment::Outdoor1 => "Outdoor 1",
+            Deployment::Outdoor2 => "Outdoor 2",
+        }
+    }
+
+    /// Number of nodes (paper §8.1).
+    pub fn node_count(self) -> usize {
+        match self {
+            Deployment::Indoor => 19,
+            Deployment::Outdoor1 => 25,
+            Deployment::Outdoor2 => 25,
+        }
+    }
+
+    /// Mean and standard deviation (dB) of the per-node SNR distribution
+    /// (calibration of Fig. 10: indoor highest, outdoor 1 lowest).
+    fn snr_model(self) -> (f32, f32) {
+        match self {
+            Deployment::Indoor => (15.0, 7.0),
+            Deployment::Outdoor1 => (8.0, 7.0),
+            Deployment::Outdoor2 => (12.0, 7.0),
+        }
+    }
+
+    /// Draws the base SNR (dB) of each node, clamped to a range where the
+    /// weakest nodes are barely decodable (as in Fig. 10).
+    pub fn draw_node_snrs<R: Rng + ?Sized>(self, rng: &mut R) -> Vec<f32> {
+        let (mean, sd) = self.snr_model();
+        (0..self.node_count())
+            .map(|_| (mean + gaussian(rng) * sd).clamp(-6.0, 30.0))
+            .collect()
+    }
+
+    /// Per-packet SNR jitter in dB (paper: "The SNR of the same node can
+    /// also vary, such as by over 5 dB, in one run").
+    pub fn packet_jitter_db<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (gaussian(rng) * 1.8).clamp(-4.0, 4.0)
+    }
+}
+
+/// Standard normal sample via Box–Muller.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node_counts_match_paper() {
+        assert_eq!(Deployment::Indoor.node_count(), 19);
+        assert_eq!(Deployment::Outdoor1.node_count(), 25);
+        assert_eq!(Deployment::Outdoor2.node_count(), 25);
+    }
+
+    #[test]
+    fn snr_spread_exceeds_20db() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for d in Deployment::ALL {
+            let mut max_spread = 0.0f32;
+            for _ in 0..20 {
+                let snrs = d.draw_node_snrs(&mut rng);
+                assert_eq!(snrs.len(), d.node_count());
+                let lo = snrs.iter().copied().fold(f32::MAX, f32::min);
+                let hi = snrs.iter().copied().fold(f32::MIN, f32::max);
+                max_spread = max_spread.max(hi - lo);
+            }
+            // Paper: "the SNRs of the nodes may also differ by more than
+            // 20 dB" within a deployment.
+            assert!(max_spread > 20.0, "{}: spread {max_spread}", d.name());
+        }
+    }
+
+    #[test]
+    fn indoor_snr_higher_than_outdoor1() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mean = |d: Deployment, rng: &mut StdRng| {
+            let mut acc = 0.0f32;
+            let mut n = 0;
+            for _ in 0..50 {
+                for s in d.draw_node_snrs(rng) {
+                    acc += s;
+                    n += 1;
+                }
+            }
+            acc / n as f32
+        };
+        let indoor = mean(Deployment::Indoor, &mut rng);
+        let out1 = mean(Deployment::Outdoor1, &mut rng);
+        assert!(indoor > out1 + 3.0, "indoor {indoor} out1 {out1}");
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let j = Deployment::packet_jitter_db(&mut rng);
+            assert!((-4.0..=4.0).contains(&j));
+        }
+    }
+}

@@ -1,0 +1,20 @@
+#!/bin/bash
+# Regenerates every experiment output recorded in EXPERIMENTS.md.
+set -x
+cd /root/repo
+B="cargo run -q --release -p tnb-bench --bin"
+$B fig01_sensitivity                                   > results/fig01.txt 2>&1
+$B fig08_qsearch                                       > results/fig08.txt 2>&1
+$B fig10_snr_cdf -- --duration 4                       > results/fig10.txt 2>&1
+$B fig11_medium_usage -- --duration 4                  > results/fig11.txt 2>&1
+$B table1_bec_capability                               > results/table1.txt 2>&1
+$B table2_bec_complexity                               > results/table2.txt 2>&1
+$B fig20_bec_error_prob                                > results/fig20.txt 2>&1
+$B fig16_bec_rescued -- --duration 4 --runs 2          > results/fig16.txt 2>&1
+$B fig18_collision_levels -- --duration 4 --runs 2     > results/fig18.txt 2>&1
+$B fig15_ablation -- --duration 4                      > results/fig15.txt 2>&1
+$B fig17_prr_snr -- --duration 4                       > results/fig17.txt 2>&1
+$B fig19_etu -- --duration 5 --runs 2                  > results/fig19.txt 2>&1
+$B artifact_counts -- --duration 4                     > results/artifact.txt 2>&1
+$B fig12_14_throughput -- --duration 4                 > results/fig12_14.txt 2>&1
+echo ALL DONE

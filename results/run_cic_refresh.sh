@@ -1,0 +1,13 @@
+#!/bin/bash
+# Re-runs the CIC-involving experiments after the CIC peak-set-intersection
+# rework, plus the extra ablations.
+set -x
+cd /root/repo
+B="cargo run -q --release -p tnb-bench --bin"
+$B ablation_w                                          > results/ablation_w.txt 2>&1
+$B ablation_thrive -- --duration 4                     > results/ablation_thrive.txt 2>&1
+$B fig17_prr_snr -- --duration 4                       > results/fig17.txt 2>&1
+$B fig19_etu -- --duration 5 --runs 2                  > results/fig19.txt 2>&1
+$B fig15_ablation -- --duration 4                      > results/fig15.txt 2>&1
+$B fig12_14_throughput -- --duration 4                 > results/fig12_14.txt 2>&1
+echo REFRESH DONE

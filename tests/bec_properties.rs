@@ -1,0 +1,120 @@
+//! Property-based tests for BEC invariants (paper Table 1 and §6).
+
+use proptest::prelude::*;
+use tnb::core::bec::decode_block;
+use tnb::phy::hamming::encode;
+use tnb::phy::params::CodingRate;
+
+fn any_cr() -> impl Strategy<Value = CodingRate> {
+    (1usize..=4).prop_map(|v| CodingRate::from_value(v).unwrap())
+}
+
+/// Nibbles and per-row flip patterns for `k` error columns over `sf` rows.
+fn block_with_errors(
+    cr: CodingRate,
+    k: usize,
+) -> impl Strategy<Value = (Vec<u8>, Vec<usize>, Vec<u8>)> {
+    let width = cr.codeword_len();
+    (
+        proptest::collection::vec(0u8..16, 7..=12),
+        proptest::sample::subsequence((0..width).collect::<Vec<_>>(), k),
+        proptest::collection::vec(0u8..(1 << k) as u8, 12),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any clean block decodes to itself with a single candidate.
+    #[test]
+    fn clean_block_identity(cr in any_cr(), nibbles in proptest::collection::vec(0u8..16, 7..=12)) {
+        let rows: Vec<u8> = nibbles.iter().map(|&n| encode(n, cr)).collect();
+        let dec = decode_block(&rows, cr);
+        prop_assert!(!dec.repaired);
+        prop_assert_eq!(dec.candidates, vec![nibbles]);
+    }
+
+    /// 1-column errors: always corrected for every CR (paper Table 1).
+    #[test]
+    fn one_column_always_corrected(
+        cr in any_cr(),
+        nibbles in proptest::collection::vec(0u8..16, 7..=12),
+        col in 0usize..8,
+        flips in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        let col = col % cr.codeword_len();
+        prop_assume!(flips.iter().take(nibbles.len()).any(|&x| x));
+        let mut rows: Vec<u8> = nibbles.iter().map(|&n| encode(n, cr)).collect();
+        for (i, row) in rows.iter_mut().enumerate() {
+            if flips[i] {
+                *row ^= 1 << col;
+            }
+        }
+        let dec = decode_block(&rows, cr);
+        prop_assert!(dec.candidates.iter().any(|c| c == &nibbles),
+            "cr={cr:?} col={col}");
+    }
+
+    /// 2-column errors with CR 4: always corrected (paper §A.6).
+    #[test]
+    fn cr4_two_columns_always_corrected(
+        (nibbles, cols, flips) in block_with_errors(CodingRate::CR4, 2),
+    ) {
+        let cr = CodingRate::CR4;
+        let mut rows: Vec<u8> = nibbles.iter().map(|&n| encode(n, cr)).collect();
+        let mut touched = [false; 2];
+        for (i, row) in rows.iter_mut().enumerate() {
+            for (b, t) in touched.iter_mut().enumerate() {
+                if flips[i] & (1 << b) != 0 {
+                    *row ^= 1 << cols[b];
+                    *t = true;
+                }
+            }
+        }
+        // Only a true 2-column error pattern is claimed (both columns hit).
+        prop_assume!(touched[0] && touched[1]);
+        let dec = decode_block(&rows, cr);
+        prop_assert!(dec.candidates.iter().any(|c| c == &nibbles), "cols={cols:?}");
+    }
+
+    /// BEC candidates are always within the paper's complexity bounds.
+    #[test]
+    fn candidate_counts_bounded(
+        cr in any_cr(),
+        nibbles in proptest::collection::vec(0u8..16, 7..=12),
+        noise in proptest::collection::vec(any::<u8>(), 12),
+    ) {
+        let mut rows: Vec<u8> = nibbles.iter().map(|&n| encode(n, cr)).collect();
+        for (i, row) in rows.iter_mut().enumerate() {
+            *row ^= noise[i] & tnb::phy::hamming::cw_mask(cr);
+        }
+        let dec = decode_block(&rows, cr);
+        let bound = match cr {
+            CodingRate::CR1 => 5,
+            CodingRate::CR2 => 2,
+            CodingRate::CR3 => 3,
+            CodingRate::CR4 => 8, // up to 6+2 successful Δ₁ attempts (§6.7.2)
+        };
+        prop_assert!(dec.candidates.len() <= bound,
+            "cr={cr:?}: {} candidates", dec.candidates.len());
+        prop_assert!(!dec.candidates.is_empty());
+    }
+
+    /// Arbitrary garbage never panics and always yields some candidate.
+    #[test]
+    fn garbage_is_safe(
+        cr in any_cr(),
+        rows in proptest::collection::vec(any::<u8>(), 7..=12),
+    ) {
+        let rows: Vec<u8> = rows
+            .into_iter()
+            .map(|r| r & tnb::phy::hamming::cw_mask(cr))
+            .collect();
+        let dec = decode_block(&rows, cr);
+        prop_assert!(!dec.candidates.is_empty());
+        for c in &dec.candidates {
+            prop_assert_eq!(c.len(), rows.len());
+            prop_assert!(c.iter().all(|&n| n < 16));
+        }
+    }
+}

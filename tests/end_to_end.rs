@@ -1,0 +1,220 @@
+//! Cross-crate end-to-end tests: transmitter → channel → receivers, with
+//! randomized payloads and impairments.
+
+use proptest::prelude::*;
+use tnb::channel::fading::ChannelModel;
+use tnb::channel::trace::{PacketConfig, TraceBuilder};
+use tnb::core::TnbReceiver;
+use tnb::phy::{CodingRate, LoRaParams, SpreadingFactor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any payload over an impaired AWGN channel decodes exactly.
+    #[test]
+    fn random_payload_roundtrips(
+        payload in proptest::collection::vec(any::<u8>(), 1..40),
+        cr_v in 1usize..=4,
+        cfo_hz in -4800.0f64..4800.0,
+        frac in 0.0f32..0.99,
+        seed in 0u64..1000,
+    ) {
+        let params = LoRaParams::new(
+            SpreadingFactor::SF8,
+            CodingRate::from_value(cr_v).unwrap(),
+        );
+        let mut b = TraceBuilder::new(params, seed);
+        b.add_packet(
+            &payload,
+            PacketConfig {
+                start_sample: 4_321,
+                snr_db: 10.0,
+                cfo_hz,
+                frac_delay: frac,
+                ..Default::default()
+            },
+        );
+        let trace = b.build();
+        let decoded = TnbReceiver::new(params).decode(trace.samples());
+        prop_assert_eq!(decoded.len(), 1, "payload len {}", payload.len());
+        prop_assert_eq!(&decoded[0].payload, &payload);
+    }
+
+    /// Two randomly offset colliding packets: TnB decodes both, and
+    /// nothing it outputs is wrong (CRC gate).
+    #[test]
+    fn random_collisions_never_yield_wrong_payloads(
+        gap_symbols in 13usize..40,
+        gap_frac in 0usize..2047,
+        snr2 in 6.0f32..14.0,
+        cfo1 in -4000.0f64..4000.0,
+        cfo2 in -4000.0f64..4000.0,
+        seed in 0u64..1000,
+    ) {
+        let params = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+        let l = params.samples_per_symbol();
+        let pay1 = b"collision test A".to_vec();
+        let pay2 = b"collision test B".to_vec();
+        prop_assume!((cfo1 - cfo2).abs() > 600.0); // distinguishable nodes
+        let mut b = TraceBuilder::new(params, seed);
+        b.add_packet(
+            &pay1,
+            PacketConfig { start_sample: 3_000, snr_db: 12.0, cfo_hz: cfo1, ..Default::default() },
+        );
+        b.add_packet(
+            &pay2,
+            PacketConfig {
+                start_sample: 3_000 + gap_symbols * l + gap_frac,
+                snr_db: snr2,
+                cfo_hz: cfo2,
+                ..Default::default()
+            },
+        );
+        let trace = b.build();
+        let decoded = TnbReceiver::new(params).decode(trace.samples());
+        for d in &decoded {
+            prop_assert!(
+                d.payload == pay1 || d.payload == pay2,
+                "ghost payload {:?}",
+                d.payload
+            );
+        }
+        prop_assert!(!decoded.is_empty());
+    }
+}
+
+#[test]
+fn flat_rayleigh_fading_decodes() {
+    let params = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+    let mut ok = 0;
+    let trials = 12;
+    for seed in 0..trials {
+        let mut b = TraceBuilder::new(params, seed);
+        b.add_packet(
+            &[0x3Au8; 16],
+            PacketConfig {
+                start_sample: 2_000,
+                snr_db: 18.0,
+                cfo_hz: 800.0,
+                channel: ChannelModel::FlatRayleigh { doppler_hz: 5.0 },
+                ..Default::default()
+            },
+        );
+        let trace = b.build();
+        let decoded = TnbReceiver::new(params).decode(trace.samples());
+        ok += decoded.iter().any(|d| d.payload == [0x3Au8; 16]) as u32;
+    }
+    // Rayleigh outages lose a few packets even at 18 dB; most must pass.
+    assert!(ok >= trials as u32 * 2 / 3, "decoded {ok}/{trials}");
+}
+
+#[test]
+fn sf12_extreme_parameters_work() {
+    // The largest supported SF exercises 4096-chip symbols end to end.
+    let params = LoRaParams::new(SpreadingFactor::SF12, CodingRate::CR1);
+    let payload = b"SF12 woz ere".to_vec();
+    let mut b = TraceBuilder::new(params, 5);
+    b.add_packet(
+        &payload,
+        PacketConfig {
+            start_sample: 9_999,
+            snr_db: 0.0,
+            cfo_hz: -500.0,
+            ..Default::default()
+        },
+    );
+    let trace = b.build();
+    let decoded = TnbReceiver::new(params).decode(trace.samples());
+    assert_eq!(decoded.len(), 1);
+    assert_eq!(decoded[0].payload, payload);
+}
+
+#[test]
+fn back_to_back_packets_both_decode() {
+    // Two packets from the same node area, not overlapping: trivially both
+    // decoded, and starts reported in order.
+    let params = LoRaParams::new(SpreadingFactor::SF7, CodingRate::CR2);
+    let mut b = TraceBuilder::new(params, 6);
+    let airtime = b.packet_samples(8);
+    b.add_packet(
+        &[1u8; 8],
+        PacketConfig {
+            start_sample: 1_000,
+            snr_db: 10.0,
+            ..Default::default()
+        },
+    );
+    b.add_packet(
+        &[2u8; 8],
+        PacketConfig {
+            start_sample: 1_000 + airtime + 5_000,
+            snr_db: 10.0,
+            cfo_hz: 900.0,
+            ..Default::default()
+        },
+    );
+    let trace = b.build();
+    let decoded = TnbReceiver::new(params).decode(trace.samples());
+    assert_eq!(decoded.len(), 2);
+    assert!(decoded[0].start < decoded[1].start);
+    assert_eq!(decoded[0].payload, [1u8; 8]);
+    assert_eq!(decoded[1].payload, [2u8; 8]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Arbitrary finite garbage samples must never panic the receiver or
+    /// produce CRC-passing ghosts.
+    #[test]
+    fn garbage_samples_are_safe(seed in 0u64..1000, amp in 0.1f32..50.0) {
+        let params = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) as f32 - 0.5
+        };
+        let samples: Vec<tnb::dsp::Complex32> = (0..60_000)
+            .map(|_| tnb::dsp::Complex32::new(next() * amp, next() * amp))
+            .collect();
+        let decoded = TnbReceiver::new(params).decode(&samples);
+        // White garbage has no preamble structure; anything "decoded"
+        // would be a CRC collision.
+        prop_assert!(decoded.is_empty(), "{} ghosts", decoded.len());
+    }
+}
+
+#[test]
+fn receiver_tolerates_crystal_drift() {
+    // Commodity crystals drift tens of ppm; over a 133 ms SF-8 packet,
+    // 20 ppm is ~2.7 samples of cumulative timing error — within the
+    // receiver's tolerance. 500 ppm (~67 samples) is not, and must fail
+    // cleanly rather than produce garbage.
+    use tnb::channel::impairments::apply_clock_drift;
+    use tnb::phy::Transmitter;
+
+    let params = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+    let payload = b"crystal drift ok".to_vec();
+    let clean = Transmitter::new(params).transmit(&payload);
+
+    for (ppm, must_decode) in [(10.0f64, true), (20.0, true), (500.0, false)] {
+        let drifted = apply_clock_drift(&clean, ppm);
+        let mut b = TraceBuilder::new(params, 71);
+        b.add_packet_samples(&drifted, 5_000, 900.0, 12.0);
+        // Pad past the packet: a fast crystal shrinks the waveform, and
+        // the receiver needs a full final symbol window.
+        b.set_min_len(5_000 + clean.len() + 8_192);
+        let trace = b.build();
+        let decoded = TnbReceiver::new(params).decode(trace.samples());
+        if must_decode {
+            assert_eq!(decoded.len(), 1, "ppm={ppm}");
+            assert_eq!(decoded[0].payload, payload, "ppm={ppm}");
+        } else {
+            for d in &decoded {
+                assert_eq!(d.payload, payload, "ppm={ppm}: wrong payload emitted");
+            }
+        }
+    }
+}

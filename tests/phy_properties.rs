@@ -1,0 +1,97 @@
+//! Property-based tests for the PHY substrate: every encode/decode layer
+//! must round-trip for arbitrary inputs.
+
+use proptest::prelude::*;
+use tnb::phy::params::{CodingRate, LoRaParams, SpreadingFactor};
+use tnb::phy::{decoder, encoder, gray, hamming, interleaver, whitening};
+
+fn any_cr() -> impl Strategy<Value = CodingRate> {
+    (1usize..=4).prop_map(|v| CodingRate::from_value(v).unwrap())
+}
+
+fn any_sf() -> impl Strategy<Value = SpreadingFactor> {
+    (7usize..=12).prop_map(|v| SpreadingFactor::from_value(v).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn whitening_is_involution(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(whitening::whiten(&whitening::whiten(&data)), data);
+    }
+
+    #[test]
+    fn nibble_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let nib = encoder::bytes_to_nibbles(&data);
+        prop_assert_eq!(encoder::nibbles_to_bytes(&nib), data);
+    }
+
+    #[test]
+    fn gray_roundtrip_and_unit_distance(sf in any_sf(), h in 0u16..4096) {
+        let n = sf.chips() as u16;
+        let h = h % n;
+        let bits = gray::symbol_to_bits(h, sf.value());
+        prop_assert_eq!(gray::bits_to_symbol(bits, sf.value()), h);
+        // ±1-bin neighbours differ in exactly one bit.
+        let next = gray::symbol_to_bits((h + 1) % n, sf.value());
+        prop_assert_eq!((bits ^ next).count_ones(), 1);
+    }
+
+    #[test]
+    fn hamming_corrects_any_single_bit(cr in any_cr(), nibble in 0u8..16, bit in 0usize..8) {
+        let cw = hamming::encode(nibble, cr);
+        let bit = bit % cr.codeword_len();
+        let corrupted = cw ^ (1 << bit);
+        let decoded = hamming::decode_default(corrupted, cr);
+        match cr {
+            // Distance-3/4 codes correct 1-bit errors.
+            CodingRate::CR3 | CodingRate::CR4 => prop_assert_eq!(decoded.nibble, nibble),
+            // Distance-2 codes at least land within one bit of the input.
+            _ => prop_assert!(decoded.distance <= 1),
+        }
+    }
+
+    #[test]
+    fn interleaver_roundtrip(
+        rows in proptest::collection::vec(any::<u8>(), 1..=16),
+        cw_len in 5usize..=8,
+    ) {
+        let rows: Vec<u8> = rows
+            .into_iter()
+            .map(|r| r & ((1u16 << cw_len) - 1) as u8)
+            .collect();
+        let words = interleaver::interleave(&rows, cw_len);
+        prop_assert_eq!(interleaver::deinterleave(&words, rows.len(), cw_len), rows);
+    }
+
+    #[test]
+    fn packet_symbols_roundtrip(
+        sf in any_sf(),
+        cr in any_cr(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let params = LoRaParams::new(sf, cr);
+        let symbols = encoder::encode_packet_symbols(&payload, &params);
+        let decoded = decoder::decode_packet(&symbols, &params).ok();
+        prop_assert_eq!(decoded.as_deref(), Some(payload.as_slice()));
+    }
+
+    #[test]
+    fn single_symbol_bin_error_never_panics(
+        sf in any_sf(),
+        cr in any_cr(),
+        payload in proptest::collection::vec(any::<u8>(), 1..32),
+        sym_idx in any::<usize>(),
+        err in 1u16..4096,
+    ) {
+        let params = LoRaParams::new(sf, cr);
+        let mut symbols = encoder::encode_packet_symbols(&payload, &params);
+        let i = sym_idx % symbols.len();
+        let n = params.n() as u16;
+        symbols[i] = (symbols[i] + err % n) % n;
+        // Must either decode to the exact payload or fail cleanly; a wrong
+        // payload would mean a CRC collision (astronomically unlikely).
+        if let Ok(got) = decoder::decode_packet(&symbols, &params) {
+            prop_assert_eq!(got, payload);
+        }
+    }
+}
