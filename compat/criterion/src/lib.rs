@@ -1,0 +1,288 @@
+//! Offline API-compatible subset of `criterion` 0.5.
+//!
+//! Implements the macro + builder surface the workspace's benches use and
+//! measures wall-clock time per iteration (median of a few samples after a
+//! short warmup). It does not implement criterion's statistical analysis,
+//! HTML reports, or baseline comparisons — it exists so `cargo bench`
+//! works offline and prints comparable `ns/iter` numbers.
+//!
+//! Environment knobs:
+//! - `CRITERION_QUICK=1` — one short sample per benchmark (CI smoke mode).
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Target measurement time per sample.
+    measure: Duration,
+    /// Samples per benchmark (median is reported).
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("CRITERION_QUICK").is_ok();
+        Criterion {
+            measure: if quick {
+                Duration::from_millis(30)
+            } else {
+                Duration::from_millis(300)
+            },
+            samples: if quick { 1 } else { 3 },
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream-compatible no-op (CLI args are ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.measure, self.samples, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples (upstream semantics approximated).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Upstream's sample_size counts analysis samples (≥ 10); here it
+        // only bounds how many timing samples we take.
+        self.sample_size = Some(n.clamp(1, 10));
+        self
+    }
+
+    /// Declares per-iteration throughput for the following benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: IntoBenchmarkId, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(
+            &full,
+            self.criterion.measure,
+            self.sample_size.unwrap_or(self.criterion.samples),
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(
+            &full,
+            self.criterion.measure,
+            self.sample_size.unwrap_or(self.criterion.samples),
+            self.throughput,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; a no-op offline).
+    pub fn finish(&mut self) {}
+}
+
+/// Per-iteration work declared by [`BenchmarkGroup::throughput`].
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, possibly parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter (used inside groups).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a display id (strings or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The display form.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Iterations to run this sample.
+    iters: u64,
+    /// Measured elapsed time for those iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    measure: Duration,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    // Calibrate: run single iterations until we know roughly how long one
+    // takes, then size samples to fill `measure`.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let per_sample = (measure.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        ns.push(b.elapsed.as_nanos() as f64 / per_sample as f64);
+    }
+    ns.sort_by(f64::total_cmp);
+    let median = ns[ns.len() / 2];
+    let (lo, hi) = (ns[0], ns[ns.len() - 1]);
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  thrpt: {:.4} Kelem/s", n as f64 / median * 1e6),
+        Throughput::Bytes(n) => {
+            format!("  thrpt: {:.4} MiB/s", n as f64 / median * 1e9 / 1048576.0)
+        }
+    });
+    println!(
+        "{id:<50} time: [{} {} {}]{}",
+        fmt_ns(lo),
+        fmt_ns(median),
+        fmt_ns(hi),
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,43 @@
+//! Sampling strategies (`subsequence`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy generating order-preserving `amount`-element subsequences of
+/// `values`.
+pub fn subsequence<T: Clone>(values: Vec<T>, amount: usize) -> Subsequence<T> {
+    assert!(
+        amount <= values.len(),
+        "subsequence: amount {} exceeds {} values",
+        amount,
+        values.len()
+    );
+    Subsequence { values, amount }
+}
+
+/// See [`subsequence`].
+#[derive(Debug, Clone)]
+pub struct Subsequence<T> {
+    values: Vec<T>,
+    amount: usize,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        // Floyd's algorithm for a uniform k-subset, then restore order.
+        let n = self.values.len();
+        let k = self.amount;
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        for j in n - k..n {
+            let t = rng.below(j as u64 + 1) as usize;
+            if chosen.contains(&t) {
+                chosen.push(j);
+            } else {
+                chosen.push(t);
+            }
+        }
+        chosen.sort_unstable();
+        chosen.iter().map(|&i| self.values[i].clone()).collect()
+    }
+}

@@ -17,7 +17,8 @@ use tnb_core::packet::{DecodedPacket, DetectedPacket};
 use tnb_core::receiver::{TnbConfig, TnbReceiver};
 use tnb_core::sigcalc::{snr_from_peak_db, SigCalc};
 use tnb_core::thrive::ThriveConfig;
-use tnb_dsp::Complex32;
+use tnb_core::ParallelReceiver;
+use tnb_dsp::{Complex32, DspScratch};
 use tnb_phy::decoder as phy_decoder;
 use tnb_phy::header::Header;
 use tnb_phy::params::LoRaParams;
@@ -33,6 +34,14 @@ pub trait Scheme {
     /// Convenience for single-antenna traces.
     fn decode_single(&self, samples: &[Complex32]) -> Vec<DecodedPacket> {
         self.decode(&[samples])
+    }
+
+    /// Decodes the trace with up to `workers` threads. Schemes with a
+    /// parallel pipeline (TnB) override this; the default ignores the
+    /// hint and decodes serially, so results are identical either way.
+    fn decode_with_workers(&self, antennas: &[&[Complex32]], workers: usize) -> Vec<DecodedPacket> {
+        let _ = workers;
+        self.decode(antennas)
     }
 }
 
@@ -87,34 +96,27 @@ impl SchemeKind {
     /// Builds the scheme for a parameter set.
     pub fn build(self, params: LoRaParams) -> Box<dyn Scheme> {
         match self {
-            SchemeKind::Tnb => Box::new(TnbScheme {
-                rx: TnbReceiver::new(params),
-                name: "TnB",
-            }),
-            SchemeKind::Thrive => Box::new(TnbScheme {
-                rx: TnbReceiver::with_config(
-                    params,
-                    TnbConfig {
-                        use_bec: false,
-                        ..TnbConfig::default()
+            SchemeKind::Tnb => Box::new(TnbScheme::new(params, TnbConfig::default(), "TnB")),
+            SchemeKind::Thrive => Box::new(TnbScheme::new(
+                params,
+                TnbConfig {
+                    use_bec: false,
+                    ..TnbConfig::default()
+                },
+                "Thrive",
+            )),
+            SchemeKind::Sibling => Box::new(TnbScheme::new(
+                params,
+                TnbConfig {
+                    use_bec: false,
+                    thrive: ThriveConfig {
+                        use_history: false,
+                        ..ThriveConfig::default()
                     },
-                ),
-                name: "Thrive",
-            }),
-            SchemeKind::Sibling => Box::new(TnbScheme {
-                rx: TnbReceiver::with_config(
-                    params,
-                    TnbConfig {
-                        use_bec: false,
-                        thrive: ThriveConfig {
-                            use_history: false,
-                            ..ThriveConfig::default()
-                        },
-                        ..TnbConfig::default()
-                    },
-                ),
-                name: "Sibling",
-            }),
+                    ..TnbConfig::default()
+                },
+                "Sibling",
+            )),
             SchemeKind::LoRaPhy => Box::new(crate::lora_phy::LoRaPhyScheme::new(params)),
             SchemeKind::Cic => Box::new(crate::cic::CicScheme::new(params, false)),
             SchemeKind::CicBec => Box::new(crate::cic::CicScheme::new(params, true)),
@@ -131,7 +133,20 @@ impl SchemeKind {
 /// TnB-family schemes wrap the receiver directly.
 struct TnbScheme {
     rx: TnbReceiver,
+    params: LoRaParams,
+    cfg: TnbConfig,
     name: &'static str,
+}
+
+impl TnbScheme {
+    fn new(params: LoRaParams, cfg: TnbConfig, name: &'static str) -> Self {
+        TnbScheme {
+            rx: TnbReceiver::with_config(params, cfg),
+            params,
+            cfg,
+            name,
+        }
+    }
 }
 
 impl Scheme for TnbScheme {
@@ -140,6 +155,12 @@ impl Scheme for TnbScheme {
     }
     fn decode(&self, antennas: &[&[Complex32]]) -> Vec<DecodedPacket> {
         self.rx.decode_multi(antennas)
+    }
+    fn decode_with_workers(&self, antennas: &[&[Complex32]], workers: usize) -> Vec<DecodedPacket> {
+        if workers <= 1 {
+            return self.decode(antennas);
+        }
+        ParallelReceiver::with_config(self.params, self.cfg, workers).decode_multi(antennas)
     }
 }
 
@@ -170,10 +191,11 @@ pub(crate) fn drive_baseline<A: SymbolAssigner>(
     antennas: &[&[Complex32]],
 ) -> Vec<DecodedPacket> {
     assert!(!antennas.is_empty());
+    let mut scratch = DspScratch::new();
     let detector = Detector::new(params);
-    let detected = detector.detect(antennas[0]);
+    let detected = detector.detect_with_scratch(antennas[0], &mut scratch);
     let demod = detector.demodulator();
-    let mut sig = SigCalc::new(demod, antennas);
+    let mut sig = SigCalc::new(demod, antennas, &mut scratch);
     let l = params.samples_per_symbol() as i64;
 
     // Provisional extents: headers + a typical 16-byte payload. Replaced

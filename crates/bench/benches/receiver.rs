@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use tnb_channel::trace::{PacketConfig, TraceBuilder};
 use tnb_core::detect::Detector;
 use tnb_core::sync::{fractional_sync, SyncConfig};
-use tnb_core::TnbReceiver;
+use tnb_core::{ParallelReceiver, TnbReceiver};
 use tnb_phy::demodulate::Demodulator;
 use tnb_phy::{CodingRate, LoRaParams, SpreadingFactor};
 
@@ -98,5 +98,49 @@ fn bench_full_decode(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_detection, bench_sync, bench_full_decode);
+/// Eight staggered packets in well-separated clusters — the workload the
+/// parallel receiver fans out.
+fn staggered_trace(seed: u64, n: usize) -> tnb_channel::trace::Trace {
+    let p = params();
+    let l = p.samples_per_symbol();
+    let mut b = TraceBuilder::new(p, seed);
+    for i in 0..n {
+        b.add_packet(
+            &[(i as u8 + 1) * 13; 16],
+            PacketConfig {
+                start_sample: 4_000 + i * 60 * l + i * 137,
+                snr_db: 9.0 + (i % 3) as f32,
+                cfo_hz: -2_000.0 + 550.0 * i as f64,
+                ..Default::default()
+            },
+        );
+    }
+    b.build()
+}
+
+fn bench_parallel_decode(c: &mut Criterion) {
+    let trace = staggered_trace(7, 8);
+    let p = params();
+    let serial = TnbReceiver::new(p);
+    let mut g = c.benchmark_group("parallel_decode");
+    g.sample_size(10);
+    g.bench_function("serial_8_packets", |b| {
+        b.iter(|| serial.decode(std::hint::black_box(trace.samples())));
+    });
+    for workers in [2usize, 4] {
+        let rx = ParallelReceiver::new(p, workers).with_max_payload_len(16);
+        g.bench_function(format!("workers_{workers}_8_packets"), |b| {
+            b.iter(|| rx.decode(std::hint::black_box(trace.samples())));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_detection,
+    bench_sync,
+    bench_full_decode,
+    bench_parallel_decode
+);
 criterion_main!(benches);

@@ -160,7 +160,7 @@ mod tests {
             .map(|i| Complex32::from_phase(2.0 * std::f64::consts::PI * f * i as f64))
             .collect();
         let drifted = apply_clock_drift(&tone, 1000.0); // 0.1 %
-        // After k samples the drifted tone's phase leads by 2π·f·k·δ.
+                                                        // After k samples the drifted tone's phase leads by 2π·f·k·δ.
         let k = 50_000usize;
         let expect_lead = 2.0 * std::f64::consts::PI * f * k as f64 * 1e-3;
         let lead = (drifted[k].mul_conj(tone[k])).arg() as f64;

@@ -15,11 +15,12 @@ commands:
            [--deployment indoor|outdoor1|outdoor2] [--seed N]
       synthesize a multi-node trace and write it as 16-bit I/Q (1 Msps)
 
-  decode --trace FILE --sf N [--cr N] [--scheme NAME]
+  decode --trace FILE --sf N [--cr N] [--scheme NAME] [--workers N]
       decode a trace file; schemes: tnb (default), thrive, sibling,
-      lora-phy, cic, cic+, aligntrack, aligntrack+
+      lora-phy, cic, cic+, aligntrack, aligntrack+. --workers N decodes
+      with N threads (TnB-family schemes only; same output, faster)
 
-  compare --trace FILE --sf N [--cr N]
+  compare --trace FILE --sf N [--cr N] [--workers N]
       decode with every scheme and print the comparison table
 
   info --trace FILE
@@ -103,9 +104,10 @@ pub fn decode(args: &[String]) -> Result<(), String> {
         "aligntrack+" => SchemeKind::AlignTrackBec,
         other => return Err(format!("unknown scheme {other}")),
     };
+    let workers: usize = flags.parse_or("--workers", 1usize)?;
     let samples = load_trace(path).map_err(|e| e.to_string())?;
     let scheme = kind.build(params);
-    let decoded = scheme.decode_single(&samples);
+    let decoded = scheme.decode_with_workers(&[&samples], workers.max(1));
 
     println!("node   seq    SNR(dB)  start(s)  CFO(Hz)");
     for d in &decoded {
@@ -129,11 +131,14 @@ pub fn compare(args: &[String]) -> Result<(), String> {
     let flags = Flags(args);
     let path = flags.require("--trace")?;
     let params = parse_params(&flags)?;
+    let workers: usize = flags.parse_or("--workers", 1usize)?;
     let samples = load_trace(path).map_err(|e| e.to_string())?;
     println!("{:<14} {:>8}", "scheme", "decoded");
     for kind in SchemeKind::ALL {
         let scheme = kind.build(params);
-        let n = scheme.decode_single(&samples).len();
+        let n = scheme
+            .decode_with_workers(&[&samples], workers.max(1))
+            .len();
         println!("{:<14} {:>8}", scheme.name(), n);
     }
     Ok(())
@@ -184,7 +189,17 @@ mod tests {
             "3",
         ]))
         .unwrap();
-        decode(&s(&["--trace", path_s, "--sf", "8", "--scheme", "tnb"])).unwrap();
+        decode(&s(&[
+            "--trace",
+            path_s,
+            "--sf",
+            "8",
+            "--scheme",
+            "tnb",
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
         info(&s(&["--trace", path_s])).unwrap();
         std::fs::remove_file(&path).ok();
     }
@@ -204,7 +219,14 @@ mod tests {
         let path = dir.join("c.iq16");
         let path_s = path.to_str().unwrap();
         generate(&s(&[
-            "--out", path_s, "--sf", "8", "--load", "3", "--duration", "1.0",
+            "--out",
+            path_s,
+            "--sf",
+            "8",
+            "--load",
+            "3",
+            "--duration",
+            "1.0",
         ]))
         .unwrap();
         compare(&s(&["--trace", path_s, "--sf", "8"])).unwrap();

@@ -689,10 +689,7 @@ mod tests {
                     }
                 }
                 let dec = decode_block(&rows, CR2);
-                assert!(
-                    has_candidate(&dec, &nib),
-                    "col {col} pattern {pattern:#b}"
-                );
+                assert!(has_candidate(&dec, &nib), "col {col} pattern {pattern:#b}");
             }
         }
     }

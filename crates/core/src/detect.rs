@@ -15,9 +15,9 @@
 //! Step 4 (fractional timing/CFO) lives in [`crate::sync`].
 
 use crate::packet::DetectedPacket;
-use crate::sync::{fractional_sync, SyncConfig};
+use crate::sync::{fractional_sync_scratch, SyncConfig};
 
-use tnb_dsp::{find_peaks, Complex32, PeakFinderConfig};
+use tnb_dsp::{find_peaks, Complex32, DspScratch, PeakFinderConfig};
 use tnb_phy::demodulate::Demodulator;
 use tnb_phy::params::LoRaParams;
 
@@ -90,32 +90,97 @@ impl Detector {
     /// Detects all packets in `samples`, returning their synchronized
     /// start times and CFOs sorted by start time.
     pub fn detect(&self, samples: &[Complex32]) -> Vec<DetectedPacket> {
+        let mut scratch = DspScratch::new();
+        self.detect_with_scratch(samples, &mut scratch)
+    }
+
+    /// [`Self::detect`] with a caller-owned [`DspScratch`], so repeated
+    /// detection passes reuse buffers and FFT plans.
+    pub fn detect_with_scratch(
+        &self,
+        samples: &[Complex32],
+        scratch: &mut DspScratch,
+    ) -> Vec<DetectedPacket> {
         let mut out: Vec<DetectedPacket> = Vec::new();
-        for run in self.scan_preambles(samples) {
+        for run in self.scan_preambles(samples, scratch) {
             if std::env::var("TNB_DEBUG_DETECT").is_ok() {
                 eprintln!(
                     "DBG run first_window={} bin={} len={}",
                     run.first_window, run.bin, run.len
                 );
             }
-            if let Some(p) = self.validate_and_sync(samples, &run) {
-                // Deduplicate: two runs (e.g. split by a collision glitch)
-                // can describe the same preamble.
-                let dup = out.iter().any(|q| {
-                    (q.start - p.start).abs() < self.params.samples_per_symbol() as f64 / 4.0
-                        && (q.cfo_cycles - p.cfo_cycles).abs() < 1.5
-                });
-                if !dup {
-                    out.push(p);
-                }
+            if let Some(p) = self.validate_and_sync(samples, &run, scratch) {
+                Self::push_dedup(&mut out, p, self.params.samples_per_symbol() as f64);
             }
         }
         out.sort_by(|a, b| a.start.total_cmp(&b.start));
         out
     }
 
+    /// [`Self::detect`] with preamble validation fanned out over
+    /// `workers` threads (each with its own scratch). The scan pass is a
+    /// single cheap sweep and stays serial; validation — five candidate
+    /// alignments plus the 36-point fractional search per run — dominates
+    /// detection cost and parallelizes per run. Results are identical to
+    /// the serial path: candidates are deduplicated in scan order, exactly
+    /// as [`Self::detect`] does.
+    pub fn detect_parallel(&self, samples: &[Complex32], workers: usize) -> Vec<DetectedPacket> {
+        let workers = workers.max(1);
+        if workers == 1 {
+            return self.detect(samples);
+        }
+        let mut scratch = DspScratch::new();
+        let runs = self.scan_preambles(samples, &mut scratch);
+        let mut validated: Vec<Option<DetectedPacket>> = vec![None; runs.len()];
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers.min(runs.len().max(1)))
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut scratch = DspScratch::new();
+                        let mut local: Vec<(usize, DetectedPacket)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= runs.len() {
+                                break;
+                            }
+                            if let Some(p) = self.validate_and_sync(samples, &runs[i], &mut scratch)
+                            {
+                                local.push((i, p));
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, p) in h.join().expect("validation worker panicked") {
+                    validated[i] = Some(p);
+                }
+            }
+        });
+        let mut out: Vec<DetectedPacket> = Vec::new();
+        for p in validated.into_iter().flatten() {
+            Self::push_dedup(&mut out, p, self.params.samples_per_symbol() as f64);
+        }
+        out.sort_by(|a, b| a.start.total_cmp(&b.start));
+        out
+    }
+
+    /// Appends `p` unless an equivalent packet is already present.
+    /// Deduplication matters because two runs (e.g. split by a collision
+    /// glitch) can describe the same preamble.
+    fn push_dedup(out: &mut Vec<DetectedPacket>, p: DetectedPacket, l: f64) {
+        let dup = out.iter().any(|q| {
+            (q.start - p.start).abs() < l / 4.0 && (q.cfo_cycles - p.cfo_cycles).abs() < 1.5
+        });
+        if !dup {
+            out.push(p);
+        }
+    }
+
     /// Step 1: scan for runs of same-bin peaks across consecutive windows.
-    fn scan_preambles(&self, samples: &[Complex32]) -> Vec<PreambleRun> {
+    fn scan_preambles(&self, samples: &[Complex32], scratch: &mut DspScratch) -> Vec<PreambleRun> {
         let l = self.params.samples_per_symbol();
         let n = self.params.n() as i64;
         let n_windows = samples.len() / l;
@@ -137,10 +202,12 @@ impl Detector {
         };
 
         for w in 0..n_windows {
-            let y = self.demod.signal_vector(&samples[w * l..(w + 1) * l], 0.0);
-            let median = tnb_dsp::stats::median(&y);
+            self.demod
+                .signal_vector_scratch(&samples[w * l..(w + 1) * l], 0.0, scratch);
+            let y = &scratch.fbuf;
+            let median = tnb_dsp::stats::median(y);
             let thresh = median * self.cfg.peak_median_factor;
-            let peaks: Vec<usize> = find_peaks(&y, &finder_cfg)
+            let peaks: Vec<usize> = find_peaks(y, &finder_cfg)
                 .into_iter()
                 .filter(|p| p.height > thresh)
                 .map(|p| p.index)
@@ -206,6 +273,7 @@ impl Detector {
         &self,
         samples: &[Complex32],
         run: &PreambleRun,
+        scratch: &mut DspScratch,
     ) -> Option<DetectedPacket> {
         let l = self.params.samples_per_symbol() as i64;
         let u = self.params.osf as i64;
@@ -233,7 +301,7 @@ impl Detector {
             let mut heights: Vec<f32> = Vec::with_capacity(5);
             let mut ok = true;
             for j in 1i64..=5 {
-                match self.peak_near(samples, p + j * l, false, 0, max_cfo_bins) {
+                match self.peak_near(samples, p + j * l, false, 0, max_cfo_bins, scratch) {
                     Some((bin, h)) => {
                         bins.push(center(bin, n));
                         heights.push(h);
@@ -256,8 +324,8 @@ impl Detector {
             // downchirp bin is unknown a priori; consider every peak of
             // the first window that (a) repeats in the second and (b)
             // yields a CFO within bounds, and keep the strongest.
-            let down_a = self.window_peaks(samples, p + 10 * l, true);
-            let down_b = self.window_peaks(samples, p + 11 * l, true);
+            let down_a = self.window_peaks(samples, p + 10 * l, true, scratch);
+            let down_b = self.window_peaks(samples, p + 11 * l, true, scratch);
             let (Some(down_a), Some(down_b)) = (down_a, down_b) else {
                 continue;
             };
@@ -323,29 +391,38 @@ impl Detector {
         }
         // Step 4: fractional timing and CFO around the integer-bin CFO.
         let cfo_int = cfo_est.round();
-        fractional_sync(
+        fractional_sync_scratch(
             samples,
             &self.demod,
             s_coarse,
             cfo_int,
             &SyncConfig::default(),
+            scratch,
         )
     }
 
     /// Signal vector of one window, processed with the downchirp
     /// (`down = false`, for upchirps) or the upchirp (`down = true`, for
-    /// downchirps). `None` when the window runs off the trace.
-    fn window_vector(&self, samples: &[Complex32], start: i64, down: bool) -> Option<Vec<f32>> {
+    /// downchirps), left in `scratch.fbuf`. `None` when the window runs
+    /// off the trace.
+    fn window_vector<'s>(
+        &self,
+        samples: &[Complex32],
+        start: i64,
+        down: bool,
+        scratch: &'s mut DspScratch,
+    ) -> Option<&'s [f32]> {
         let l = self.params.samples_per_symbol();
         if start < 0 || start as usize + l > samples.len() {
             return None;
         }
         let w = &samples[start as usize..start as usize + l];
-        Some(if down {
-            self.demod.signal_vector_down(w, 0.0)
+        if down {
+            self.demod.signal_vector_down_scratch(w, 0.0, scratch);
         } else {
-            self.demod.signal_vector(w, 0.0)
-        })
+            self.demod.signal_vector_scratch(w, 0.0, scratch);
+        }
+        Some(&scratch.fbuf)
     }
 
     /// Top peaks of one window (circular peak finding, capped).
@@ -354,14 +431,15 @@ impl Detector {
         samples: &[Complex32],
         start: i64,
         down: bool,
+        scratch: &mut DspScratch,
     ) -> Option<Vec<tnb_dsp::Peak>> {
-        let y = self.window_vector(samples, start, down)?;
+        let y = self.window_vector(samples, start, down, scratch)?;
         let cfg = PeakFinderConfig {
             circular: true,
             max_peaks: Some(self.cfg.max_scan_peaks),
             ..PeakFinderConfig::default()
         };
-        Some(find_peaks(&y, &cfg))
+        Some(find_peaks(y, &cfg))
     }
 
     /// The signal-vector value and bin of the strongest bin within `tol`
@@ -374,8 +452,9 @@ impl Detector {
         down: bool,
         expect: i64,
         tol: i64,
+        scratch: &mut DspScratch,
     ) -> Option<(i64, f32)> {
-        let y = self.window_vector(samples, start, down)?;
+        let y = self.window_vector(samples, start, down, scratch)?;
         let n = y.len() as i64;
         let mut best: Option<(i64, f32)> = None;
         for d in -tol..=tol {

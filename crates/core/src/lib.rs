@@ -7,6 +7,7 @@
 pub mod bec;
 pub mod detect;
 pub mod packet;
+pub mod parallel;
 pub mod receiver;
 pub mod sigcalc;
 pub mod streaming;
@@ -15,5 +16,6 @@ pub mod thrive;
 
 pub use detect::{Detector, DetectorConfig};
 pub use packet::{DecodedPacket, DetectedPacket};
+pub use parallel::ParallelReceiver;
 pub use receiver::{DecodeReport, TnbConfig, TnbReceiver};
 pub use streaming::{StreamingConfig, StreamingReceiver};

@@ -27,7 +27,7 @@ impl DetectedPacket {
 }
 
 /// A successfully decoded packet.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecodedPacket {
     /// CRC-validated payload bytes.
     pub payload: Vec<u8>,

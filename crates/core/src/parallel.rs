@@ -1,0 +1,285 @@
+//! Parallel batched decoding: detection, then independent per-cluster
+//! decode work items fanned out over scoped worker threads.
+//!
+//! # Why clusters are safe work items
+//!
+//! After detection, packets interact only through *time overlap*:
+//!
+//! - Thrive assigns peaks jointly to the symbols intersecting a checking
+//!   point (sibling costs couple co-located symbols);
+//! - known-peak masks reach less than one symbol length beyond another
+//!   packet's own emission windows;
+//! - the second pass masks decoded packets' peaks in the windows of
+//!   overlapping failures.
+//!
+//! So two packets whose sample spans cannot overlap decode identically
+//! whether processed together or apart. The receiver groups detected
+//! packets into connected components under a conservative overlap
+//! horizon (the longest possible packet plus one symbol of masking
+//! margin) and decodes each component independently. Every worker owns a
+//! [`DspScratch`], and results are merged back in cluster order — i.e.
+//! by packet start sample — so the output is byte-identical to the
+//! serial [`TnbReceiver`] regardless of worker count or scheduling.
+
+use crate::detect::Detector;
+use crate::packet::{DecodedPacket, DetectedPacket};
+use crate::receiver::{DecodeReport, TnbConfig, TnbReceiver};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tnb_dsp::{Complex32, DspScratch};
+use tnb_phy::block;
+use tnb_phy::demodulate::Demodulator;
+use tnb_phy::params::{CodingRate, LoRaParams};
+
+/// Largest payload a LoRa header can announce (`payload_len` is a byte).
+const MAX_PAYLOAD_LEN: usize = 255;
+
+/// A [`TnbReceiver`] that fans independent decode work over worker
+/// threads. With one worker it degenerates to the serial pipeline; with
+/// more it produces the same bytes, faster.
+#[derive(Debug)]
+pub struct ParallelReceiver {
+    params: LoRaParams,
+    cfg: TnbConfig,
+    workers: usize,
+    /// Upper bound on payload length used for the clustering horizon.
+    max_payload_len: usize,
+}
+
+impl ParallelReceiver {
+    /// Builds a parallel receiver with default (full TnB) configuration.
+    /// `workers` is clamped to at least 1.
+    pub fn new(params: LoRaParams, workers: usize) -> Self {
+        Self::with_config(params, TnbConfig::default(), workers)
+    }
+
+    /// Builds a parallel receiver with a custom receiver configuration.
+    pub fn with_config(params: LoRaParams, cfg: TnbConfig, workers: usize) -> Self {
+        ParallelReceiver {
+            params,
+            cfg,
+            workers: workers.max(1),
+            max_payload_len: MAX_PAYLOAD_LEN,
+        }
+    }
+
+    /// Tightens the clustering horizon for deployments whose payloads are
+    /// known to be at most `len` bytes (e.g. fixed-format sensor fleets).
+    /// A tighter horizon splits dense traffic into more, smaller work
+    /// items. `len` must cover every packet actually on the air: a longer
+    /// packet would couple clusters this receiver treats as independent.
+    pub fn with_max_payload_len(mut self, len: usize) -> Self {
+        self.max_payload_len = len.clamp(1, MAX_PAYLOAD_LEN);
+        self
+    }
+
+    /// Number of worker threads used for validation and decoding.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Decodes a single-antenna trace.
+    pub fn decode(&self, samples: &[Complex32]) -> Vec<DecodedPacket> {
+        self.decode_multi_report(&[samples]).0
+    }
+
+    /// Like [`Self::decode`], additionally returning the merged
+    /// [`DecodeReport`].
+    pub fn decode_with_report(&self, samples: &[Complex32]) -> (Vec<DecodedPacket>, DecodeReport) {
+        self.decode_multi_report(&[samples])
+    }
+
+    /// Decodes a multi-antenna trace.
+    pub fn decode_multi(&self, antennas: &[&[Complex32]]) -> Vec<DecodedPacket> {
+        self.decode_multi_report(antennas).0
+    }
+
+    /// Full parallel pipeline: per-antenna detection (preamble validation
+    /// fanned over workers), candidate merge, then per-cluster decoding.
+    /// Mirrors [`TnbReceiver::decode_multi`] exactly.
+    pub fn decode_multi_report(
+        &self,
+        antennas: &[&[Complex32]],
+    ) -> (Vec<DecodedPacket>, DecodeReport) {
+        assert!(!antennas.is_empty());
+        let detector = Detector::with_config(self.params, self.cfg.detector);
+        let l = self.params.samples_per_symbol() as f64;
+        let mut detected: Vec<DetectedPacket> = Vec::new();
+        for ant in antennas {
+            for p in detector.detect_parallel(ant, self.workers) {
+                let dup = detected.iter().any(|q| {
+                    (q.start - p.start).abs() < l / 4.0 && (q.cfo_cycles - p.cfo_cycles).abs() < 1.5
+                });
+                if !dup {
+                    detected.push(p);
+                }
+            }
+        }
+        detected.sort_by(|a, b| a.start.total_cmp(&b.start));
+        self.decode_detected_report(&detected, detector.demodulator(), antennas)
+    }
+
+    /// Decodes pre-detected packets over worker threads. `detected` must
+    /// be sorted by start sample (as the detection pass returns it).
+    pub fn decode_detected_report(
+        &self,
+        detected: &[DetectedPacket],
+        demod: &Demodulator,
+        antennas: &[&[Complex32]],
+    ) -> (Vec<DecodedPacket>, DecodeReport) {
+        let clusters = self.clusters(detected);
+        let workers = self.workers.min(clusters.len()).max(1);
+
+        if workers == 1 {
+            // One worker: decode the same work items inline, one scratch.
+            let rx = TnbReceiver::with_config(self.params, self.cfg);
+            let mut scratch = DspScratch::new();
+            let mut all = Vec::new();
+            let mut total = DecodeReport::default();
+            for c in &clusters {
+                let (d, r) =
+                    rx.decode_detected_report(&detected[c.clone()], demod, antennas, &mut scratch);
+                all.extend(d);
+                total.absorb(&r);
+            }
+            return (all, total);
+        }
+
+        let next = AtomicUsize::new(0);
+        let mut results: Vec<Option<(Vec<DecodedPacket>, DecodeReport)>> = Vec::new();
+        results.resize_with(clusters.len(), || None);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        // Each worker owns a receiver (the report slot is
+                        // interior-mutable, so receivers are not shared)
+                        // and a scratch reused across its work items.
+                        let rx = TnbReceiver::with_config(self.params, self.cfg);
+                        let mut scratch = DspScratch::new();
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= clusters.len() {
+                                break;
+                            }
+                            local.push((
+                                i,
+                                rx.decode_detected_report(
+                                    &detected[clusters[i].clone()],
+                                    demod,
+                                    antennas,
+                                    &mut scratch,
+                                ),
+                            ));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("decode worker panicked") {
+                    results[i] = Some(r);
+                }
+            }
+        });
+
+        // Deterministic merge: clusters are disjoint start-sample ranges
+        // in ascending order, so concatenating in cluster order yields
+        // the same packet order as the serial receiver.
+        let mut all = Vec::new();
+        let mut total = DecodeReport::default();
+        for (d, r) in results.into_iter().flatten() {
+            all.extend(d);
+            total.absorb(&r);
+        }
+        (all, total)
+    }
+
+    /// Groups start-sorted detections into connected components under the
+    /// overlap horizon: a new cluster starts whenever a packet begins
+    /// after every earlier packet's span has ended.
+    fn clusters(&self, detected: &[DetectedPacket]) -> Vec<Range<usize>> {
+        let horizon = self.horizon_samples();
+        let mut out = Vec::new();
+        let mut begin = 0usize;
+        let mut max_end = f64::NEG_INFINITY;
+        for (i, p) in detected.iter().enumerate() {
+            if i > begin && p.start >= max_end {
+                out.push(begin..i);
+                begin = i;
+                max_end = f64::NEG_INFINITY;
+            }
+            max_end = max_end.max(p.start + horizon);
+        }
+        if begin < detected.len() {
+            out.push(begin..detected.len());
+        }
+        out
+    }
+
+    /// Conservative packet span in samples: preamble plus the longest
+    /// possible payload at the most redundant coding rate, plus one
+    /// symbol of masking margin (known-peak masks reach `< l` beyond a
+    /// packet's own windows).
+    fn horizon_samples(&self) -> f64 {
+        let mut p = self.params;
+        p.cr = CodingRate::CR4;
+        let syms =
+            p.preamble_symbols() + block::data_symbol_count(self.max_payload_len, &p) as f64 + 1.0;
+        syms * p.samples_per_symbol() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnb_phy::params::SpreadingFactor;
+
+    fn pkt(start: f64) -> DetectedPacket {
+        DetectedPacket {
+            start,
+            cfo_cycles: 0.0,
+            preamble_peak: 1.0,
+        }
+    }
+
+    fn rx() -> ParallelReceiver {
+        ParallelReceiver::new(LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR1), 4)
+            .with_max_payload_len(16)
+    }
+
+    #[test]
+    fn clusters_split_on_gaps() {
+        let rx = rx();
+        let h = rx.horizon_samples();
+        let dets = [pkt(0.0), pkt(h / 2.0), pkt(h * 3.0), pkt(h * 10.0)];
+        let c = rx.clusters(&dets);
+        assert_eq!(c, vec![0..2, 2..3, 3..4]);
+    }
+
+    #[test]
+    fn chained_overlaps_stay_together() {
+        let rx = rx();
+        let h = rx.horizon_samples();
+        // Each packet overlaps only its neighbour; the chain is one
+        // component.
+        let dets = [pkt(0.0), pkt(h * 0.9), pkt(h * 1.8), pkt(h * 2.7)];
+        assert_eq!(rx.clusters(&dets), vec![0..4]);
+    }
+
+    #[test]
+    fn empty_and_single_detections() {
+        let rx = rx();
+        assert!(rx.clusters(&[]).is_empty());
+        assert_eq!(rx.clusters(&[pkt(5000.0)]), vec![0..1]);
+    }
+
+    #[test]
+    fn tighter_payload_bound_shrinks_horizon() {
+        let params = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR1);
+        let wide = ParallelReceiver::new(params, 2);
+        let tight = ParallelReceiver::new(params, 2).with_max_payload_len(16);
+        assert!(tight.horizon_samples() < wide.horizon_samples());
+    }
+}

@@ -7,8 +7,11 @@ use crate::bec;
 use crate::detect::{Detector, DetectorConfig};
 use crate::packet::{DecodedPacket, DetectedPacket};
 use crate::sigcalc::{estimate_snr_db, SigCalc};
-use crate::thrive::{assign_checkpoint, CheckpointSymbol, HistoryModel, ThriveConfig};
-use tnb_dsp::Complex32;
+use crate::thrive::{
+    assign_checkpoint_scratch, Assignment, CheckpointScratch, CheckpointSymbol, HistoryModel,
+    ThriveConfig,
+};
+use tnb_dsp::{Complex32, DspScratch};
 use tnb_phy::block;
 use tnb_phy::decoder as phy_decoder;
 use tnb_phy::header::Header;
@@ -62,6 +65,19 @@ pub struct DecodeReport {
     pub payload_failures: usize,
     /// Packets that ran off the end of the trace.
     pub truncated: usize,
+}
+
+impl DecodeReport {
+    /// Accumulates another report field-wise (used when merging
+    /// independently decoded work items back into one trace report).
+    pub fn absorb(&mut self, other: &DecodeReport) {
+        self.detected += other.detected;
+        self.decoded += other.decoded;
+        self.second_pass_rescues += other.second_pass_rescues;
+        self.header_failures += other.header_failures;
+        self.payload_failures += other.payload_failures;
+        self.truncated += other.truncated;
+    }
 }
 
 /// The TnB receiver.
@@ -146,11 +162,12 @@ impl TnbReceiver {
     /// signal vectors are then summed over all antennas.
     pub fn decode_multi(&self, antennas: &[&[Complex32]]) -> Vec<DecodedPacket> {
         assert!(!antennas.is_empty());
+        let mut scratch = DspScratch::new();
         let detector = Detector::with_config(self.params, self.cfg.detector);
         let l = self.params.samples_per_symbol() as f64;
         let mut detected: Vec<DetectedPacket> = Vec::new();
         for ant in antennas {
-            for p in detector.detect(ant) {
+            for p in detector.detect_with_scratch(ant, &mut scratch) {
                 let dup = detected.iter().any(|q| {
                     (q.start - p.start).abs() < l / 4.0 && (q.cfo_cycles - p.cfo_cycles).abs() < 1.5
                 });
@@ -160,7 +177,10 @@ impl TnbReceiver {
             }
         }
         detected.sort_by(|a, b| a.start.total_cmp(&b.start));
-        self.decode_detected(&detected, detector.demodulator(), antennas)
+        let (decoded, report) =
+            self.decode_detected_report(&detected, detector.demodulator(), antennas, &mut scratch);
+        self.last_report.set(Some(report));
+        decoded
     }
 
     /// Decodes given pre-detected packets (used by the evaluation harness
@@ -171,7 +191,26 @@ impl TnbReceiver {
         demod: &tnb_phy::demodulate::Demodulator,
         antennas: &[&[Complex32]],
     ) -> Vec<DecodedPacket> {
-        let mut sig = SigCalc::new(demod, antennas);
+        let mut scratch = DspScratch::new();
+        let (decoded, report) =
+            self.decode_detected_report(detected, demod, antennas, &mut scratch);
+        self.last_report.set(Some(report));
+        decoded
+    }
+
+    /// [`Self::decode_detected`] with a caller-owned [`DspScratch`],
+    /// returning the report directly instead of stashing it. This is the
+    /// worker-friendly entry point: it takes `&self` without touching the
+    /// receiver's interior-mutable report slot, and reuses the scratch's
+    /// buffers and pools across work items.
+    pub fn decode_detected_report(
+        &self,
+        detected: &[DetectedPacket],
+        demod: &tnb_phy::demodulate::Demodulator,
+        antennas: &[&[Complex32]],
+        scratch: &mut DspScratch,
+    ) -> (Vec<DecodedPacket>, DecodeReport) {
+        let mut sig = SigCalc::new(demod, antennas, scratch);
 
         let mut tracked: Vec<Tracked> = detected
             .iter()
@@ -256,8 +295,7 @@ impl TnbReceiver {
                 .filter(|t| t.failure == Failure::Truncated && t.status == Status::Failed)
                 .count(),
         };
-        self.last_report.set(Some(report));
-        tracked
+        let decoded = tracked
             .into_iter()
             .filter(|t| t.status == Status::Decoded)
             .map(|t| {
@@ -272,7 +310,8 @@ impl TnbReceiver {
                     pass: t.pass,
                 }
             })
-            .collect()
+            .collect();
+        (decoded, report)
     }
 
     fn run_pass(&self, sig: &mut SigCalc<'_>, tracked: &mut [Tracked], trace_len: i64, pass: u8) {
@@ -290,10 +329,17 @@ impl TnbReceiver {
         let c_end = trace_len / l + 1;
         let dets: Vec<DetectedPacket> = tracked.iter().map(|t| t.det).collect();
 
+        // Per-checkpoint working storage, reused across the whole pass so
+        // the steady-state checkpoint loop does not reallocate it.
+        let mut ws = CheckpointScratch::default();
+        let mut slots: Vec<(usize, isize)> = Vec::new();
+        let mut symbols: Vec<CheckpointSymbol> = Vec::new();
+        let mut assignments: Vec<Assignment> = Vec::new();
+
         for c in c_start..=c_end {
             let t_now = c * l;
             // Which (packet, symbol) pairs intersect this checking point?
-            let mut slots: Vec<(usize, isize)> = Vec::new();
+            slots.clear();
             for (i, tr) in tracked.iter().enumerate() {
                 if tr.status != Status::Active {
                     continue;
@@ -311,23 +357,37 @@ impl TnbReceiver {
                 continue;
             }
 
-            // Build checkpoint symbols with masks and history bounds.
-            let symbols: Vec<CheckpointSymbol> = slots
-                .iter()
-                .map(|&(i, j)| CheckpointSymbol {
-                    packet: i,
-                    symbol: j,
-                    masked_bins: self.known_masks(tracked, i, j),
-                    bounds: if pass == 1 {
-                        tracked[i].history.bounds(&self.cfg.thrive)
-                    } else {
-                        let idx = LoRaParams::PREAMBLE_UPCHIRPS + j as usize;
-                        tracked[i].history.bounds_at(idx, &self.cfg.thrive)
-                    },
-                })
-                .collect();
+            // Build checkpoint symbols with masks and history bounds;
+            // `symbols` only ever grows, so mask capacity is reused.
+            while symbols.len() < slots.len() {
+                symbols.push(CheckpointSymbol {
+                    packet: 0,
+                    symbol: 0,
+                    masked_bins: Vec::new(),
+                    bounds: (0.0, 0.0),
+                });
+            }
+            for (k, &(i, j)) in slots.iter().enumerate() {
+                let s = &mut symbols[k];
+                s.packet = i;
+                s.symbol = j;
+                self.known_masks_into(tracked, i, j, &mut s.masked_bins);
+                s.bounds = if pass == 1 {
+                    tracked[i].history.bounds(&self.cfg.thrive)
+                } else {
+                    let idx = LoRaParams::PREAMBLE_UPCHIRPS + j as usize;
+                    tracked[i].history.bounds_at(idx, &self.cfg.thrive)
+                };
+            }
 
-            let assignments = assign_checkpoint(sig, &dets, &symbols, &self.cfg.thrive);
+            assign_checkpoint_scratch(
+                sig,
+                &dets,
+                &symbols[..slots.len()],
+                &self.cfg.thrive,
+                &mut ws,
+                &mut assignments,
+            );
             for a in &assignments {
                 let (i, j) = slots[a.slot];
                 let tr = &mut tracked[i];
@@ -364,7 +424,8 @@ impl TnbReceiver {
     /// transmissions of other packets overlapping that window: their
     /// preamble upchirps and sync symbols, and — once decoded — their data
     /// symbols (paper §5.3.4 and §4, second pass).
-    fn known_masks(&self, tracked: &[Tracked], i: usize, j: isize) -> Vec<i64> {
+    fn known_masks_into(&self, tracked: &[Tracked], i: usize, j: isize, out: &mut Vec<i64>) {
+        out.clear();
         let params = self.params;
         let l = params.samples_per_symbol() as f64;
         let u = params.osf as f64;
@@ -378,7 +439,6 @@ impl TnbReceiver {
         // emission times.
         let w_i = tracked[i].det.start + (params.preamble_symbols() + j as f64) * l;
         let delta_i = tracked[i].det.cfo_cycles;
-        let mut out = Vec::new();
         for (q, other) in tracked.iter().enumerate() {
             if q == i {
                 continue;
@@ -410,7 +470,6 @@ impl TnbReceiver {
         }
         out.sort_unstable();
         out.dedup();
-        out
     }
 
     fn try_decode_header(&self, tr: &mut Tracked, trace_len: i64, l: i64) {

@@ -7,26 +7,48 @@
 
 use crate::packet::DetectedPacket;
 use std::collections::HashMap;
-use tnb_dsp::Complex32;
+use tnb_dsp::{Complex32, DspScratch};
 use tnb_phy::demodulate::Demodulator;
 use tnb_phy::params::LoRaParams;
 
 /// Computes (and caches) aligned, CFO-corrected signal vectors for
 /// detected packets over a multi-antenna trace.
+///
+/// All per-symbol DSP runs inside the caller-owned [`DspScratch`]; the
+/// cached vectors themselves are drawn from (and on drop returned to)
+/// the scratch's recycling pool, so the steady-state symbol loop makes
+/// no heap allocations once the pool is warm.
 pub struct SigCalc<'a> {
     demod: &'a Demodulator,
     antennas: &'a [&'a [Complex32]],
+    scratch: &'a mut DspScratch,
     /// Cache keyed by (packet id, data-symbol index).
     cache: HashMap<(usize, isize), Option<Vec<f32>>>,
 }
 
+impl Drop for SigCalc<'_> {
+    fn drop(&mut self) {
+        for (_, v) in self.cache.drain() {
+            if let Some(v) = v {
+                self.scratch.recycle_f32(v);
+            }
+        }
+    }
+}
+
 impl<'a> SigCalc<'a> {
-    /// Creates a calculator over `antennas` (at least one).
-    pub fn new(demod: &'a Demodulator, antennas: &'a [&'a [Complex32]]) -> Self {
+    /// Creates a calculator over `antennas` (at least one), borrowing the
+    /// caller's scratch for the lifetime of the calculator.
+    pub fn new(
+        demod: &'a Demodulator,
+        antennas: &'a [&'a [Complex32]],
+        scratch: &'a mut DspScratch,
+    ) -> Self {
         assert!(!antennas.is_empty(), "at least one antenna required");
         SigCalc {
             demod,
             antennas,
+            scratch,
             cache: HashMap::new(),
         }
     }
@@ -61,7 +83,7 @@ impl<'a> SigCalc<'a> {
         self.cache.get(&key).unwrap().as_ref()
     }
 
-    fn compute(&self, pkt: &DetectedPacket, j: isize) -> Option<Vec<f32>> {
+    fn compute(&mut self, pkt: &DetectedPacket, j: isize) -> Option<Vec<f32>> {
         let l = self.params().samples_per_symbol();
         let start = self.symbol_start(pkt, j);
         if start < 0 {
@@ -71,16 +93,22 @@ impl<'a> SigCalc<'a> {
         let mut sum: Option<Vec<f32>> = None;
         for ant in self.antennas {
             if start + l > ant.len() {
+                if let Some(v) = sum.take() {
+                    self.scratch.recycle_f32(v);
+                }
                 return None;
             }
-            let y = self
-                .demod
-                .signal_vector(&ant[start..start + l], pkt.cfo_cycles);
+            self.demod
+                .signal_vector_scratch(&ant[start..start + l], pkt.cfo_cycles, self.scratch);
             match sum.as_mut() {
-                None => sum = Some(y),
+                None => {
+                    let mut v = self.scratch.take_f32(0);
+                    v.extend_from_slice(&self.scratch.fbuf);
+                    sum = Some(v);
+                }
                 Some(acc) => {
-                    for (a, b) in acc.iter_mut().zip(y) {
-                        *a += b;
+                    for (a, b) in acc.iter_mut().zip(self.scratch.fbuf.iter()) {
+                        *a += *b;
                     }
                 }
             }
@@ -158,7 +186,8 @@ mod tests {
         let d = demod();
         let ant: Vec<Complex32> = vec![Complex32::ZERO; 100_000];
         let refs: Vec<&[Complex32]> = vec![&ant];
-        let sc = SigCalc::new(&d, &refs);
+        let mut scratch = DspScratch::new();
+        let sc = SigCalc::new(&d, &refs, &mut scratch);
         let pkt = DetectedPacket {
             start: 1000.0,
             cfo_cycles: 0.0,
@@ -176,7 +205,8 @@ mod tests {
         let d = demod();
         let ant: Vec<Complex32> = vec![Complex32::ZERO; 10_000];
         let refs: Vec<&[Complex32]> = vec![&ant];
-        let mut sc = SigCalc::new(&d, &refs);
+        let mut scratch = DspScratch::new();
+        let mut sc = SigCalc::new(&d, &refs, &mut scratch);
         let pkt = DetectedPacket {
             start: 9_000.0,
             cfo_cycles: 0.0,

@@ -18,7 +18,7 @@
 //! Total: 36 evaluations for `U = 8`, matching the paper.
 
 use crate::packet::DetectedPacket;
-use tnb_dsp::Complex32;
+use tnb_dsp::{Complex32, DspScratch};
 use tnb_phy::demodulate::Demodulator;
 use tnb_phy::params::LoRaParams;
 
@@ -60,11 +60,26 @@ pub fn fractional_sync(
     cfo_int: f64,
     cfg: &SyncConfig,
 ) -> Option<DetectedPacket> {
+    let mut scratch = DspScratch::new();
+    fractional_sync_scratch(samples, demod, start, cfo_int, cfg, &mut scratch)
+}
+
+/// [`fractional_sync`] with a caller-owned [`DspScratch`], so the 36-point
+/// search performs no per-evaluation allocations. Results are bit-identical
+/// to the allocating path.
+pub fn fractional_sync_scratch(
+    samples: &[Complex32],
+    demod: &Demodulator,
+    start: i64,
+    cfo_int: f64,
+    cfg: &SyncConfig,
+    scratch: &mut DspScratch,
+) -> Option<DetectedPacket> {
     let params = *demod.params();
     let u = params.osf as i64;
 
-    let eval = |dt_chips: f64, df: f64| -> Option<QValue> {
-        evaluate_q(samples, demod, start, dt_chips, cfo_int + df)
+    let mut eval = |dt_chips: f64, df: f64| -> Option<QValue> {
+        evaluate_q(samples, demod, start, dt_chips, cfo_int + df, scratch)
     };
 
     // Phase 1: δt = 0, δf from −1 to 0.
@@ -139,10 +154,10 @@ fn evaluate_q(
     start: i64,
     dt_chips: f64,
     cfo: f64,
+    scratch: &mut DspScratch,
 ) -> Option<QValue> {
     let params = demod.params();
     let l = params.samples_per_symbol() as i64;
-    let _n = params.n();
     let shift = (dt_chips * params.osf as f64).round() as i64;
     let base = start + shift;
 
@@ -155,47 +170,61 @@ fn evaluate_q(
         }
     };
 
-    // Summed upchirp spectra. The per-window CFO correction uses a local
-    // time index, so each window must additionally be de-rotated by the
-    // correction phase accumulated since the packet start (2π·cfo per
-    // symbol) — otherwise the sum's coherence would depend on the *true*
-    // fractional CFO instead of the corrected residual, and Q would not
-    // discriminate δf at all.
+    // Summed upchirp spectra, accumulated in `scratch.cacc_a`. The
+    // per-window CFO correction uses a local time index, so each window
+    // must additionally be de-rotated by the correction phase accumulated
+    // since the packet start (2π·cfo per symbol) — otherwise the sum's
+    // coherence would depend on the *true* fractional CFO instead of the
+    // corrected residual, and Q would not discriminate δf at all.
     let carry = |j: i64| Complex32::from_phase(-2.0 * std::f64::consts::PI * cfo * j as f64);
-    let mut up_sum = vec![Complex32::ZERO; l as usize];
+    scratch.cacc_a.clear();
+    scratch.cacc_a.resize(l as usize, Complex32::ZERO);
     for j in 0..LoRaParams::PREAMBLE_UPCHIRPS as i64 {
         let w = window(j * l)?;
-        let spec = demod.complex_spectrum(w, cfo);
+        demod.complex_spectrum_scratch(w, cfo, scratch);
         let rot = carry(j);
-        for (a, b) in up_sum.iter_mut().zip(spec) {
-            *a += b * rot;
+        let DspScratch { cbuf, cacc_a, .. } = &mut *scratch;
+        for (a, b) in cacc_a.iter_mut().zip(cbuf.iter()) {
+            *a += *b * rot;
         }
     }
-    let folded = demod.fold(&up_sum);
+    {
+        let DspScratch { cacc_a, fbuf, .. } = &mut *scratch;
+        demod.fold_into(cacc_a, fbuf);
+    }
+    let folded = &scratch.fbuf;
     let (up_bin, &q) = folded
         .iter()
         .enumerate()
         .max_by(|a, b| a.1.total_cmp(b.1))?;
-    let up_pos = centred_peak_position(&folded, up_bin);
+    let up_pos = centred_peak_position(folded, up_bin);
 
     // Downchirp peak location (two full downchirp windows start 10 and 11
-    // symbols in). Their dechirped spectra also sum coherently.
-    let mut down_sum = vec![Complex32::ZERO; l as usize];
+    // symbols in). Their dechirped spectra also sum coherently, in
+    // `scratch.cacc_b`; the fold reuses `scratch.fbuf` (the upchirp
+    // readouts above are already taken).
+    scratch.cacc_b.clear();
+    scratch.cacc_b.resize(l as usize, Complex32::ZERO);
     for j in [10i64, 11] {
         let w = window(j * l)?;
-        let spec = demod.complex_spectrum_down(w, cfo);
+        demod.complex_spectrum_down_scratch(w, cfo, scratch);
         let rot = carry(j);
-        for (a, b) in down_sum.iter_mut().zip(spec) {
-            *a += b * rot;
+        let DspScratch { cbuf, cacc_b, .. } = &mut *scratch;
+        for (a, b) in cacc_b.iter_mut().zip(cbuf.iter()) {
+            *a += *b * rot;
         }
     }
-    let down_folded = demod.fold(&down_sum);
+    {
+        let DspScratch { cacc_b, fbuf, .. } = &mut *scratch;
+        demod.fold_into(cacc_b, fbuf);
+    }
+    let down_folded = &scratch.fbuf;
     let down_bin = down_folded
         .iter()
         .enumerate()
         .max_by(|a, b| a.1.total_cmp(b.1))?
         .0;
-    let down_pos = centred_peak_position(&down_folded, down_bin);
+    let down_pos = centred_peak_position(down_folded, down_bin);
 
     // "At location 1" (paper, 1-indexed) = within half a bin of bin 0
     // here; 0.6 leaves margin for interpolation error while still

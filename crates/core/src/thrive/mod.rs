@@ -181,6 +181,24 @@ struct Candidate {
     alive: bool,
 }
 
+/// Reusable working storage for [`assign_checkpoint_scratch`]: per-slot
+/// vector copies, candidate lists and greedy-assignment bookkeeping keep
+/// their capacity across checking points, so the steady-state checkpoint
+/// loop does not reallocate them.
+#[derive(Debug, Default)]
+pub struct CheckpointScratch {
+    /// Slot signal-vector copies (empty = vector unavailable).
+    vectors: Vec<Vec<f32>>,
+    /// Peak candidates per slot.
+    cands: Vec<Vec<Candidate>>,
+    /// Bins masked during the greedy rounds, per slot.
+    dynamic: Vec<Vec<i64>>,
+    /// (bin, height) snapshot of one slot's candidates.
+    costs: Vec<(i64, f32)>,
+    /// Slots still awaiting an assignment.
+    remaining: Vec<usize>,
+}
+
 /// Runs one checking point: finds peaks in each symbol's signal vector,
 /// computes matching costs, and greedily assigns one peak per symbol
 /// (paper §5.3.4).
@@ -194,23 +212,50 @@ pub fn assign_checkpoint(
     symbols: &[CheckpointSymbol],
     cfg: &ThriveConfig,
 ) -> Vec<Assignment> {
+    let mut ws = CheckpointScratch::default();
+    let mut out = Vec::new();
+    assign_checkpoint_scratch(sigcalc, packets, symbols, cfg, &mut ws, &mut out);
+    out
+}
+
+/// [`assign_checkpoint`] with reusable working storage: assignments are
+/// written to `out` (cleared first), and all intermediates live in `ws`.
+/// Produces exactly the assignments of the allocating path.
+pub fn assign_checkpoint_scratch(
+    sigcalc: &mut SigCalc<'_>,
+    packets: &[DetectedPacket],
+    symbols: &[CheckpointSymbol],
+    cfg: &ThriveConfig,
+    ws: &mut CheckpointScratch,
+    out: &mut Vec<Assignment>,
+) {
+    out.clear();
     let params = *sigcalc.params();
     let n = params.n() as i64;
     let m = symbols.len();
     if m == 0 {
-        return Vec::new();
+        return;
+    }
+
+    while ws.vectors.len() < m {
+        ws.vectors.push(Vec::new());
+        ws.cands.push(Vec::new());
+        ws.dynamic.push(Vec::new());
+    }
+    for k in 0..m {
+        ws.vectors[k].clear();
+        ws.cands[k].clear();
+        ws.dynamic[k].clear();
     }
 
     // Signal vectors for each slot (cached inside SigCalc) and for
-    // neighbour symbols, fetched on demand below. Clone the slot vectors
-    // so we can hold them while querying neighbours mutably.
-    let mut vectors: Vec<Option<Vec<f32>>> = Vec::with_capacity(m);
-    for s in symbols {
-        vectors.push(
-            sigcalc
-                .symbol_vector(s.packet, &packets[s.packet], s.symbol)
-                .cloned(),
-        );
+    // neighbour symbols, fetched on demand below. Copy the slot vectors
+    // so we can hold them while querying neighbours mutably; an empty
+    // entry means the vector is unavailable (runs off the trace).
+    for (k, s) in symbols.iter().enumerate() {
+        if let Some(v) = sigcalc.symbol_vector(s.packet, &packets[s.packet], s.symbol) {
+            ws.vectors[k].extend_from_slice(v);
+        }
     }
 
     // Peak candidates per slot: peakfinder capped at 2M peaks (paper
@@ -220,28 +265,26 @@ pub fn assign_checkpoint(
         max_peaks: Some(2 * m),
         ..PeakFinderConfig::default()
     };
-    let mut cands: Vec<Vec<Candidate>> = Vec::with_capacity(m);
     for (slot, s) in symbols.iter().enumerate() {
-        let Some(v) = &vectors[slot] else {
-            cands.push(Vec::new());
+        if ws.vectors[slot].is_empty() {
             continue;
-        };
-        let peaks = find_peaks(v, &finder);
-        let list = peaks
-            .into_iter()
-            .filter(|p| {
-                !s.masked_bins
-                    .iter()
-                    .any(|&mb| bin_close(p.index as i64, mb, n, cfg.mask_tolerance))
-            })
-            .map(|p| Candidate {
-                bin: p.index as i64,
-                height: p.height,
-                cost: 0.0,
-                alive: true,
-            })
-            .collect();
-        cands.push(list);
+        }
+        let peaks = find_peaks(&ws.vectors[slot], &finder);
+        ws.cands[slot].extend(
+            peaks
+                .into_iter()
+                .filter(|p| {
+                    !s.masked_bins
+                        .iter()
+                        .any(|&mb| bin_close(p.index as i64, mb, n, cfg.mask_tolerance))
+                })
+                .map(|p| Candidate {
+                    bin: p.index as i64,
+                    height: p.height,
+                    cost: 0.0,
+                    alive: true,
+                }),
+        );
     }
 
     // Matching cost = sibling cost + history cost (paper §5.3.3). The
@@ -251,8 +294,11 @@ pub fn assign_checkpoint(
     for slot in 0..m {
         let s_i = &symbols[slot];
         let boundary_i = sigcalc.symbol_start(&packets[s_i.packet], s_i.symbol);
-        let costs: Vec<(i64, f32)> = cands[slot].iter().map(|c| (c.bin, c.height)).collect();
-        for (ci, (bin, eta)) in costs.into_iter().enumerate() {
+        ws.costs.clear();
+        ws.costs
+            .extend(ws.cands[slot].iter().map(|c| (c.bin, c.height)));
+        for ci in 0..ws.costs.len() {
+            let (bin, eta) = ws.costs[ci];
             let mut h_star = eta;
             for (other, s_k) in symbols.iter().enumerate() {
                 if other == slot {
@@ -275,51 +321,47 @@ pub fn assign_checkpoint(
             }
             let w = sibling_cost(eta, h_star);
             let f = history_cost(eta, s_i.bounds.0, s_i.bounds.1, cfg);
-            cands[slot][ci].cost = w + f;
+            ws.cands[slot][ci].cost = w + f;
         }
     }
 
     // Greedy assignment (paper §5.3.4): repeatedly take the global
     // minimum cost; prefer the symbol that holds it uniquely, else the
     // one with the fewest minimum-cost peaks.
-    let mut assigned: Vec<Assignment> = Vec::new();
-    let mut remaining: Vec<usize> = (0..m).filter(|&i| vectors[i].is_some()).collect();
-    let mut dynamic_masks: Vec<Vec<i64>> = vec![Vec::new(); m];
+    ws.remaining.clear();
+    ws.remaining
+        .extend((0..m).filter(|&i| !ws.vectors[i].is_empty()));
 
-    while !remaining.is_empty() {
+    while !ws.remaining.is_empty() {
         // Global minimum cost over live candidates.
         let mut min_cost = f32::INFINITY;
-        for &slot in &remaining {
-            for c in cands[slot].iter().filter(|c| c.alive) {
+        for &slot in &ws.remaining {
+            for c in ws.cands[slot].iter().filter(|c| c.alive) {
                 min_cost = min_cost.min(c.cost);
             }
         }
 
         let chosen_slot = if min_cost.is_finite() {
-            // Count min-cost peaks per remaining symbol.
-            let counts: Vec<(usize, usize)> = remaining
-                .iter()
-                .map(|&slot| {
-                    let cnt = cands[slot]
-                        .iter()
-                        .filter(|c| c.alive && c.cost <= min_cost + f32::EPSILON)
-                        .count();
-                    (slot, cnt)
-                })
-                .collect();
-            counts
-                .iter()
-                .filter(|(_, cnt)| *cnt > 0)
-                .min_by_key(|(_, cnt)| *cnt)
-                .map(|(slot, _)| *slot)
-                .unwrap_or(remaining[0])
+            // The remaining symbol with the fewest min-cost peaks (first
+            // such symbol on ties, matching `min_by_key` semantics).
+            let mut best: Option<(usize, usize)> = None; // (slot, count)
+            for &slot in &ws.remaining {
+                let cnt = ws.cands[slot]
+                    .iter()
+                    .filter(|c| c.alive && c.cost <= min_cost + f32::EPSILON)
+                    .count();
+                if cnt > 0 && best.map(|(_, bc)| cnt < bc).unwrap_or(true) {
+                    best = Some((slot, cnt));
+                }
+            }
+            best.map(|(slot, _)| slot).unwrap_or(ws.remaining[0])
         } else {
             // No candidates anywhere: fall back slot by slot.
-            remaining[0]
+            ws.remaining[0]
         };
 
         // Pick the assignment for the chosen slot.
-        let pick = cands[chosen_slot]
+        let pick = ws.cands[chosen_slot]
             .iter()
             .filter(|c| c.alive)
             .min_by(|a, b| a.cost.total_cmp(&b.cost))
@@ -329,38 +371,37 @@ pub fn assign_checkpoint(
             None => {
                 // Fallback: strongest unmasked bin of the raw vector.
                 fallback_bin(
-                    vectors[chosen_slot].as_deref().unwrap(),
+                    &ws.vectors[chosen_slot],
                     &symbols[chosen_slot].masked_bins,
-                    &dynamic_masks[chosen_slot],
+                    &ws.dynamic[chosen_slot],
                     cfg.mask_tolerance,
                 )
             }
         };
 
-        assigned.push(Assignment {
+        out.push(Assignment {
             slot: chosen_slot,
             bin: bin.rem_euclid(n) as u16,
             height,
         });
-        remaining.retain(|&s| s != chosen_slot);
+        ws.remaining.retain(|&s| s != chosen_slot);
 
         // Mask the assigned peak's siblings in the remaining symbols.
-        for &slot in &remaining {
+        for &slot in &ws.remaining {
             let shift = shift_bins(
                 &packets[symbols[chosen_slot].packet],
                 &packets[symbols[slot].packet],
                 &params,
             );
             let sib = (bin + shift.round() as i64).rem_euclid(n);
-            dynamic_masks[slot].push(sib);
-            for c in cands[slot].iter_mut() {
+            ws.dynamic[slot].push(sib);
+            for c in ws.cands[slot].iter_mut() {
                 if c.alive && bin_close(c.bin, sib, n, cfg.mask_tolerance) {
                     c.alive = false;
                 }
             }
         }
     }
-    assigned
 }
 
 /// Strongest bin not within `tol` of any masked location; falls back to

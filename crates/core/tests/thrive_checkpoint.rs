@@ -7,6 +7,7 @@ use tnb_core::sigcalc::SigCalc;
 use tnb_core::thrive::{
     assign_checkpoint, shift_bins, CheckpointSymbol, HistoryModel, ThriveConfig,
 };
+use tnb_dsp::DspScratch;
 use tnb_phy::demodulate::Demodulator;
 use tnb_phy::encoder::encode_packet_symbols;
 use tnb_phy::{CodingRate, LoRaParams, SpreadingFactor};
@@ -75,7 +76,8 @@ fn sibling_location_relation_holds() {
     let (trace, dets, truth) = two_packet_setup(3, (10.0, 10.0), (1500.0, -2000.0), 15 * l + 640);
     let demod = Demodulator::new(p);
     let ants: Vec<&[tnb_dsp::Complex32]> = vec![trace.samples()];
-    let mut sig = SigCalc::new(&demod, &ants);
+    let mut scratch = DspScratch::new();
+    let mut sig = SigCalc::new(&demod, &ants, &mut scratch);
 
     // Packet 2's data symbol 0 overlaps packet 1's data symbols 15/16.
     let v2 = sig.symbol_vector(1, &dets[1], 0).unwrap().clone();
@@ -112,7 +114,8 @@ fn checkpoint_assigns_true_symbols_in_collision() {
     let (trace, dets, truth) = two_packet_setup(4, (12.0, 9.0), (1000.0, -2600.0), 15 * l + 640);
     let demod = Demodulator::new(p);
     let ants: Vec<&[tnb_dsp::Complex32]> = vec![trace.samples()];
-    let mut sig = SigCalc::new(&demod, &ants);
+    let mut scratch = DspScratch::new();
+    let mut sig = SigCalc::new(&demod, &ants, &mut scratch);
     let cfg = ThriveConfig::default();
 
     // Checkpoint where packet 1 is at symbol 20 and packet 2 at symbol 4.
@@ -152,7 +155,8 @@ fn masking_excludes_known_peaks() {
     let (trace, dets, truth) = two_packet_setup(5, (14.0, 8.0), (900.0, -1400.0), 15 * l + 640);
     let demod = Demodulator::new(p);
     let ants: Vec<&[tnb_dsp::Complex32]> = vec![trace.samples()];
-    let mut sig = SigCalc::new(&demod, &ants);
+    let mut scratch = DspScratch::new();
+    let mut sig = SigCalc::new(&demod, &ants, &mut scratch);
     let cfg = ThriveConfig::default();
 
     // Assign packet 2's symbol 4 alone, masking packet 1's (stronger)
@@ -203,7 +207,8 @@ fn empty_checkpoint_is_empty() {
     let demod = Demodulator::new(p);
     let samples = vec![tnb_dsp::Complex32::ZERO; 10 * p.samples_per_symbol()];
     let ants: Vec<&[tnb_dsp::Complex32]> = vec![&samples];
-    let mut sig = SigCalc::new(&demod, &ants);
+    let mut scratch = DspScratch::new();
+    let mut sig = SigCalc::new(&demod, &ants, &mut scratch);
     let out = assign_checkpoint(&mut sig, &[], &[], &ThriveConfig::default());
     assert!(out.is_empty());
 }

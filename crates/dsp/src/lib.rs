@@ -16,6 +16,9 @@
 //!   `smoothdata`, used by Thrive's peak-height history model.
 //! - [`stats`]: median / percentile / CDF helpers used throughout the
 //!   evaluation harness.
+//! - [`scratch`]: the per-thread [`DspScratch`] workspace (cached FFT
+//!   plans plus reusable de-chirp/spectrum buffers) that keeps the
+//!   steady-state decode loop free of per-symbol allocations.
 //!
 //! Design follows the workspace's networking-code guidelines: simple,
 //! event-free, allocation-conscious synchronous code with no macro or type
@@ -24,9 +27,11 @@
 pub mod complex;
 pub mod fft;
 pub mod peakfinder;
+pub mod scratch;
 pub mod smooth;
 pub mod stats;
 
 pub use complex::Complex32;
 pub use fft::FftPlan;
 pub use peakfinder::{find_peaks, Peak, PeakFinderConfig};
+pub use scratch::{DspScratch, FftPlanCache};

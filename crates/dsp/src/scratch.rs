@@ -1,0 +1,178 @@
+//! Reusable DSP workspace for the steady-state decode loop.
+//!
+//! The hot path of the receiver — de-chirp, FFT, fold, signal-vector
+//! accumulation — runs once or more per symbol per packet. Allocating
+//! fresh buffers for every call dominates small-symbol workloads and
+//! fragments the heap under sustained load, so every per-symbol buffer
+//! lives in a [`DspScratch`] that the caller owns and reuses.
+//!
+//! A `DspScratch` is deliberately *not* `Sync`: each worker thread of the
+//! parallel receiver owns its own scratch, so the hot loop never takes a
+//! lock. Construction is cheap (empty vectors, no plans); plans and
+//! buffers grow lazily to the largest size seen and are then reused
+//! indefinitely.
+
+use crate::complex::Complex32;
+use crate::fft::FftPlan;
+
+/// Upper bound on vectors kept in the recycling pool, so a burst of
+/// concurrent packets cannot pin an unbounded amount of memory.
+const POOL_CAP: usize = 256;
+
+/// Cache of [`FftPlan`]s keyed by transform size.
+///
+/// LoRa processing only ever uses a handful of sizes (`2^SF · OSF` for
+/// the spreading factors in play), so a linear scan over a small vector
+/// beats a hash map here.
+#[derive(Debug, Default)]
+pub struct FftPlanCache {
+    plans: Vec<FftPlan>,
+}
+
+impl FftPlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        FftPlanCache::default()
+    }
+
+    /// Returns the plan for `size`, building it on first use.
+    ///
+    /// # Panics
+    /// Panics if `size` is zero or not a power of two (see
+    /// [`FftPlan::new`]).
+    pub fn get(&mut self, size: usize) -> &FftPlan {
+        if let Some(i) = self.plans.iter().position(|p| p.size() == size) {
+            return &self.plans[i];
+        }
+        self.plans.push(FftPlan::new(size));
+        self.plans.last().expect("just pushed")
+    }
+
+    /// Number of distinct sizes planned so far.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True when no plans have been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
+/// Reusable buffers and cached FFT plans for one decoding thread.
+///
+/// The public buffer fields are working storage with no invariants: any
+/// routine may clear and refill them. The only contract is temporal —
+/// a routine that takes `&mut DspScratch` may clobber every buffer, so
+/// callers must not hold data in the scratch across such a call. Within
+/// the workspace:
+///
+/// - `cbuf` holds the current de-chirped window / in-place FFT,
+/// - `cacc_a` / `cacc_b` hold coherent spectrum accumulations (the
+///   fractional-sync search sums up- and down-chirp spectra),
+/// - `fbuf` holds a folded length-`N` signal vector,
+/// - `facc` holds a signal-vector accumulation across antennas.
+#[derive(Debug, Default)]
+pub struct DspScratch {
+    /// FFT plans keyed by size, built on first use.
+    pub plans: FftPlanCache,
+    /// Complex working buffer (de-chirped window, in-place FFT).
+    pub cbuf: Vec<Complex32>,
+    /// Complex accumulator A (e.g. summed up-chirp spectra).
+    pub cacc_a: Vec<Complex32>,
+    /// Complex accumulator B (e.g. summed down-chirp spectra).
+    pub cacc_b: Vec<Complex32>,
+    /// Real working buffer (folded signal vector).
+    pub fbuf: Vec<f32>,
+    /// Real accumulator (signal vector summed across antennas).
+    pub facc: Vec<f32>,
+    pool: Vec<Vec<f32>>,
+}
+
+impl DspScratch {
+    /// Creates an empty scratch; buffers and plans grow on first use.
+    pub fn new() -> Self {
+        DspScratch::default()
+    }
+
+    /// Takes a zeroed `f32` vector of length `len` from the recycling
+    /// pool, allocating only when the pool is empty.
+    pub fn take_f32(&mut self, len: usize) -> Vec<f32> {
+        match self.pool.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.resize(len, 0.0);
+                v
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Returns a vector to the recycling pool for a later
+    /// [`take_f32`](Self::take_f32). Vectors beyond the pool cap are
+    /// dropped.
+    pub fn recycle_f32(&mut self, v: Vec<f32>) {
+        if v.capacity() > 0 && self.pool.len() < POOL_CAP {
+            self.pool.push(v);
+        }
+    }
+
+    /// Number of vectors currently available in the recycling pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_cache_reuses_plans() {
+        let mut c = FftPlanCache::new();
+        assert!(c.is_empty());
+        let p1 = c.get(256) as *const FftPlan;
+        let p2 = c.get(256) as *const FftPlan;
+        assert_eq!(p1, p2);
+        assert_eq!(c.get(256).size(), 256);
+        c.get(1024);
+        assert_eq!(c.len(), 2);
+        // The original plan is still served for its size.
+        assert_eq!(c.get(256).size(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn plan_cache_rejects_bad_size() {
+        FftPlanCache::new().get(48);
+    }
+
+    #[test]
+    fn pool_recycles_allocations() {
+        let mut s = DspScratch::new();
+        let v = s.take_f32(64);
+        assert_eq!(v.len(), 64);
+        let ptr = v.as_ptr();
+        s.recycle_f32(v);
+        assert_eq!(s.pooled(), 1);
+        // Same (or smaller) length reuses the same allocation.
+        let v2 = s.take_f32(32);
+        assert_eq!(v2.as_ptr(), ptr);
+        assert_eq!(v2.len(), 32);
+        assert!(v2.iter().all(|&x| x == 0.0));
+        assert_eq!(s.pooled(), 0);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut s = DspScratch::new();
+        for _ in 0..(POOL_CAP + 10) {
+            s.recycle_f32(vec![0.0; 8]);
+        }
+        assert_eq!(s.pooled(), POOL_CAP);
+        // Zero-capacity vectors are not worth pooling.
+        let before = s.pooled();
+        s.recycle_f32(Vec::new());
+        assert_eq!(s.pooled(), before);
+    }
+}

@@ -13,7 +13,7 @@
 
 use crate::chirp::ChirpTable;
 use crate::params::LoRaParams;
-use tnb_dsp::{Complex32, FftPlan};
+use tnb_dsp::{Complex32, DspScratch, FftPlan};
 
 /// Reusable demodulator: owns the chirp table, FFT plan and scratch buffer
 /// for one parameter set.
@@ -129,6 +129,96 @@ impl Demodulator {
     /// downchirps) and folds. A downchirp at offset 0 peaks at bin 0.
     pub fn signal_vector_down(&self, window: &[Complex32], cfo_cycles: f64) -> Vec<f32> {
         self.fold(&self.complex_spectrum_down(window, cfo_cycles))
+    }
+
+    /// Allocation-free [`Self::complex_spectrum`]: de-chirps into
+    /// `scratch.cbuf` and FFTs it in place (plan from the scratch's
+    /// cache, so one scratch serves demodulators of any size). The
+    /// spectrum is left in `scratch.cbuf`.
+    ///
+    /// Produces bit-identical values to the allocating path.
+    pub fn complex_spectrum_scratch(
+        &self,
+        window: &[Complex32],
+        cfo_cycles: f64,
+        scratch: &mut DspScratch,
+    ) {
+        let l = self.params.samples_per_symbol();
+        assert_eq!(window.len(), l, "window must be one symbol long");
+        let DspScratch { plans, cbuf, .. } = scratch;
+        cbuf.clear();
+        if cfo_cycles == 0.0 {
+            for (w, d) in window.iter().zip(self.chirps.downchirp()) {
+                cbuf.push(*w * *d);
+            }
+        } else {
+            let step = -2.0 * std::f64::consts::PI * cfo_cycles / l as f64;
+            for (n, (w, d)) in window.iter().zip(self.chirps.downchirp()).enumerate() {
+                let rot = Complex32::from_phase(step * n as f64);
+                cbuf.push(*w * *d * rot);
+            }
+        }
+        plans.get(l).forward(cbuf);
+    }
+
+    /// Allocation-free [`Self::complex_spectrum_down`]: the upchirp-dechirped
+    /// spectrum is left in `scratch.cbuf`.
+    pub fn complex_spectrum_down_scratch(
+        &self,
+        window: &[Complex32],
+        cfo_cycles: f64,
+        scratch: &mut DspScratch,
+    ) {
+        let l = self.params.samples_per_symbol();
+        assert_eq!(window.len(), l, "window must be one symbol long");
+        let step = -2.0 * std::f64::consts::PI * cfo_cycles / l as f64;
+        let DspScratch { plans, cbuf, .. } = scratch;
+        cbuf.clear();
+        for (n, (w, u)) in window.iter().zip(self.chirps.upchirp()).enumerate() {
+            let rot = Complex32::from_phase(step * n as f64);
+            cbuf.push(*w * *u * rot);
+        }
+        plans.get(l).forward(cbuf);
+    }
+
+    /// [`Self::fold`] into a caller-owned buffer (cleared and refilled;
+    /// capacity is reused across calls).
+    pub fn fold_into(&self, spectrum: &[Complex32], out: &mut Vec<f32>) {
+        let n = self.params.n();
+        let l = self.params.samples_per_symbol();
+        debug_assert_eq!(spectrum.len(), l);
+        out.clear();
+        out.extend((0..n).map(|k| {
+            let m = spectrum[k].abs() + spectrum[l - n + k].abs();
+            m * m
+        }));
+    }
+
+    /// Allocation-free [`Self::signal_vector`]: de-chirp, FFT and fold
+    /// entirely inside `scratch`. The length-`N` signal vector is left in
+    /// `scratch.fbuf` (and `scratch.cbuf` holds the complex spectrum).
+    pub fn signal_vector_scratch(
+        &self,
+        window: &[Complex32],
+        cfo_cycles: f64,
+        scratch: &mut DspScratch,
+    ) {
+        self.complex_spectrum_scratch(window, cfo_cycles, scratch);
+        let DspScratch { cbuf, fbuf, .. } = scratch;
+        self.fold_into(cbuf, fbuf);
+    }
+
+    /// Allocation-free [`Self::signal_vector_down`]: result in
+    /// `scratch.fbuf`.
+    pub fn signal_vector_down_scratch(
+        &self,
+        window: &[Complex32],
+        cfo_cycles: f64,
+        scratch: &mut DspScratch,
+    ) {
+        self.complex_spectrum_down_scratch(window, cfo_cycles, scratch);
+        let DspScratch { cbuf, fbuf, .. } = scratch;
+        self.fold_into(cbuf, fbuf);
     }
 
     /// Demodulates a window to the most likely symbol value (argmax of the
@@ -272,5 +362,31 @@ mod tests {
     fn wrong_window_length_panics() {
         let d = demod(SpreadingFactor::SF7);
         d.signal_vector(&[Complex32::ZERO; 5], 0.0);
+    }
+
+    #[test]
+    fn scratch_path_is_bit_identical() {
+        let d = demod(SpreadingFactor::SF8);
+        let mut scratch = DspScratch::new();
+        let wave = d.chirps().symbol(123);
+        for cfo in [0.0, 1.25, -0.5] {
+            let spec = d.complex_spectrum(&wave, cfo);
+            d.complex_spectrum_scratch(&wave, cfo, &mut scratch);
+            assert_eq!(spec, scratch.cbuf, "spectrum cfo={cfo}");
+
+            let y = d.signal_vector(&wave, cfo);
+            d.signal_vector_scratch(&wave, cfo, &mut scratch);
+            assert_eq!(y, scratch.fbuf, "signal vector cfo={cfo}");
+
+            let specd = d.complex_spectrum_down(&wave, cfo);
+            d.complex_spectrum_down_scratch(&wave, cfo, &mut scratch);
+            assert_eq!(specd, scratch.cbuf, "down spectrum cfo={cfo}");
+
+            let yd = d.signal_vector_down(&wave, cfo);
+            d.signal_vector_down_scratch(&wave, cfo, &mut scratch);
+            assert_eq!(yd, scratch.fbuf, "down vector cfo={cfo}");
+        }
+        // One plan (the demodulator's size) was cached along the way.
+        assert_eq!(scratch.plans.len(), 1);
     }
 }

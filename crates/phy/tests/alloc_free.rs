@@ -1,0 +1,65 @@
+//! Proves the steady-state symbol DSP path is allocation-free: once a
+//! [`DspScratch`] is warm (FFT plan cached, buffers sized), dechirp →
+//! FFT → fold performs zero heap allocations per symbol.
+//!
+//! The counting allocator is process-global, so this file holds exactly
+//! one test — a sibling test allocating concurrently would race the
+//! counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use tnb_dsp::DspScratch;
+use tnb_phy::demodulate::Demodulator;
+use tnb_phy::{CodingRate, LoRaParams, SpreadingFactor};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_scratch_symbol_path_makes_zero_allocations() {
+    let p = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+    let demod = Demodulator::new(p);
+    let window = demod.chirps().symbol(37);
+    let mut scratch = DspScratch::new();
+
+    // Warm-up: builds the FFT plan and sizes every buffer, including the
+    // rotating (cfo != 0) and downchirp variants.
+    demod.signal_vector_scratch(&window, 1.25, &mut scratch);
+    demod.signal_vector_scratch(&window, 0.0, &mut scratch);
+    demod.signal_vector_down_scratch(&window, -0.5, &mut scratch);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..256u32 {
+        let cfo = f64::from(i % 7) * 0.25 - 0.75;
+        demod.signal_vector_scratch(&window, cfo, &mut scratch);
+        demod.signal_vector_down_scratch(&window, cfo, &mut scratch);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state symbol DSP allocated {} times over 512 symbols",
+        after - before
+    );
+    // Sanity: the warm-up really did cache exactly one plan size.
+    assert_eq!(scratch.plans.len(), 1);
+}

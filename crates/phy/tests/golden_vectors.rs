@@ -38,6 +38,129 @@ fn whitening_sequence_frozen() {
     );
 }
 
+/// The full transmit chain (whitening → Hamming(8,4) → interleave →
+/// gray) frozen per coding rate: symbol count, header+first-payload-block
+/// symbols, and the final CRC-bearing symbols. Any change to any stage
+/// shifts at least one of these.
+#[test]
+fn full_chain_frozen_per_coding_rate() {
+    let cases: [(CodingRate, usize, [u16; 16], [u16; 4]); 4] = [
+        (
+            CodingRate::CR1,
+            33,
+            [
+                24, 28, 12, 236, 96, 196, 184, 160, 110, 46, 232, 168, 178, 147, 101, 33,
+            ],
+            [254, 127, 192, 96],
+        ),
+        (
+            CodingRate::CR2,
+            38,
+            [
+                120, 16, 12, 224, 100, 4, 184, 172, 110, 46, 232, 168, 230, 42, 147, 101,
+            ],
+            [127, 192, 0, 47],
+        ),
+        (
+            CodingRate::CR3,
+            43,
+            [
+                24, 44, 16, 224, 28, 4, 164, 160, 110, 46, 232, 168, 230, 42, 34, 147,
+            ],
+            [192, 0, 47, 31],
+        ),
+        (
+            CodingRate::CR4,
+            48,
+            [
+                68, 32, 8, 224, 156, 248, 228, 188, 110, 46, 232, 168, 230, 42, 34, 238,
+            ],
+            [0, 47, 31, 8],
+        ),
+    ];
+    for (cr, total, first16, last4) in cases {
+        let p = LoRaParams::new(SpreadingFactor::SF8, cr);
+        let syms = tnb_phy::encoder::encode_packet_symbols(b"golden vector!!!", &p);
+        assert_eq!(syms.len(), total, "{cr:?} symbol count");
+        assert_eq!(&syms[..16], &first16, "{cr:?} head");
+        assert_eq!(&syms[total - 4..], &last4, "{cr:?} tail");
+        // The header block is CR4/reduced-rate regardless of payload CR.
+        assert!(syms[..8].iter().all(|s| s % 4 == 0), "{cr:?} header");
+    }
+}
+
+/// Hamming(8,4) codeword tables frozen for every puncturing (CR1 = parity
+/// only … CR4 = full codeword).
+#[test]
+fn hamming_codeword_tables_frozen() {
+    let cases: [(CodingRate, [u8; 16]); 4] = [
+        (
+            CodingRate::CR1,
+            [0, 17, 18, 3, 20, 5, 6, 23, 24, 9, 10, 27, 12, 29, 30, 15],
+        ),
+        (
+            CodingRate::CR2,
+            [0, 17, 50, 35, 52, 37, 6, 23, 40, 57, 26, 11, 28, 13, 46, 63],
+        ),
+        (
+            CodingRate::CR3,
+            [
+                0, 81, 114, 35, 52, 101, 70, 23, 104, 57, 26, 75, 92, 13, 46, 127,
+            ],
+        ),
+        (
+            CodingRate::CR4,
+            [
+                0, 209, 114, 163, 180, 101, 198, 23, 232, 57, 154, 75, 92, 141, 46, 255,
+            ],
+        ),
+    ];
+    for (cr, table) in cases {
+        assert_eq!(tnb_phy::hamming::codeword_table(cr), table, "{cr:?}");
+    }
+}
+
+/// One payload block (fixed 8 nibbles, SF 8) through Hamming, interleave
+/// and gray per coding rate, and back: the symbols are frozen and the
+/// receive direction recovers the exact codeword rows.
+#[test]
+fn payload_block_roundtrip_frozen_per_coding_rate() {
+    let nibbles: [u8; 8] = [0x9, 0xE, 0x3, 0x7, 0x7, 0x9, 0xB, 0x1];
+    let expect: [&[u16]; 4] = [
+        &[169, 53, 251, 72, 201],
+        &[169, 53, 251, 72, 237, 46],
+        &[169, 53, 251, 72, 237, 46, 2],
+        &[169, 53, 251, 72, 237, 46, 2, 14],
+    ];
+    for (cr, want) in [
+        CodingRate::CR1,
+        CodingRate::CR2,
+        CodingRate::CR3,
+        CodingRate::CR4,
+    ]
+    .into_iter()
+    .zip(expect)
+    {
+        let p = LoRaParams::new(SpreadingFactor::SF8, cr);
+        let block = tnb_phy::block::encode_payload_block(&nibbles, &p);
+        assert_eq!(block, want, "{cr:?}");
+        let rows = tnb_phy::block::receive_payload_block(&block, &p);
+        for (row, &nib) in rows.iter().zip(&nibbles) {
+            assert_eq!(*row, tnb_phy::hamming::encode(nib, cr), "{cr:?}");
+        }
+    }
+}
+
+/// The diagonal interleaver itself, frozen for an 8-row CR4 block.
+#[test]
+fn interleaver_frozen() {
+    let rows: Vec<u8> = (0..8u8).map(|i| i * 37 + 11).collect();
+    assert_eq!(
+        tnb_phy::interleaver::interleave(&rows, 8),
+        vec![85, 204, 45, 59, 225, 82, 177, 224]
+    );
+}
+
 #[test]
 fn chirp_waveform_frozen() {
     let t =

@@ -141,6 +141,17 @@ pub fn run_scheme(scheme: &dyn Scheme, built: &BuiltExperiment) -> ExperimentRes
     run_scheme_limited(scheme, built, usize::MAX)
 }
 
+/// Like [`run_scheme`] but decodes with up to `workers` threads (schemes
+/// without a parallel pipeline ignore the hint). Results are identical to
+/// the serial run for any worker count.
+pub fn run_scheme_with_workers(
+    scheme: &dyn Scheme,
+    built: &BuiltExperiment,
+    workers: usize,
+) -> ExperimentResult {
+    run_scheme_limited_with_workers(scheme, built, usize::MAX, workers)
+}
+
 /// Like [`run_scheme`] but exposes at most `max_antennas` antennas to the
 /// scheme (Fig. 19 compares single-antenna schemes with `TnB2ant` on the
 /// same 2-antenna trace).
@@ -149,6 +160,16 @@ pub fn run_scheme_limited(
     built: &BuiltExperiment,
     max_antennas: usize,
 ) -> ExperimentResult {
+    run_scheme_limited_with_workers(scheme, built, max_antennas, 1)
+}
+
+/// The general runner: antenna cap and worker-count knob combined.
+pub fn run_scheme_limited_with_workers(
+    scheme: &dyn Scheme,
+    built: &BuiltExperiment,
+    max_antennas: usize,
+    workers: usize,
+) -> ExperimentResult {
     let refs: Vec<&[tnb_dsp::Complex32]> = built
         .trace
         .antennas
@@ -156,7 +177,7 @@ pub fn run_scheme_limited(
         .take(max_antennas.max(1))
         .map(|a| a.as_slice())
         .collect();
-    let decoded = scheme.decode(&refs);
+    let decoded = scheme.decode_with_workers(&refs, workers.max(1));
     let matched = match_decoded(&decoded, &built.schedule);
     let sent = built.schedule.len();
     let correct = matched.correct.len();
@@ -230,5 +251,17 @@ mod tests {
         );
         assert_eq!(r.matched.unmatched, 0);
         assert!((r.throughput_pps - r.matched.correct.len() as f64 / 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worker_knob_reproduces_serial_results() {
+        let cfg = quick_cfg();
+        let built = build_experiment(&cfg);
+        let scheme = SchemeKind::Tnb.build(cfg.params);
+        let serial = run_scheme(scheme.as_ref(), &built);
+        let parallel = run_scheme_with_workers(scheme.as_ref(), &built, 4);
+        assert_eq!(parallel.matched.correct, serial.matched.correct);
+        assert_eq!(parallel.matched.unmatched, serial.matched.unmatched);
+        assert_eq!(parallel.prr, serial.prr);
     }
 }
