@@ -17,7 +17,7 @@ use tnb_core::packet::{DecodedPacket, DetectedPacket};
 use tnb_core::receiver::{TnbConfig, TnbReceiver};
 use tnb_core::sigcalc::{snr_from_peak_db, SigCalc};
 use tnb_core::thrive::ThriveConfig;
-use tnb_core::ParallelReceiver;
+use tnb_core::{DecodeReport, ParallelReceiver, PipelineMetrics};
 use tnb_dsp::{Complex32, DspScratch};
 use tnb_phy::decoder as phy_decoder;
 use tnb_phy::header::Header;
@@ -42,6 +42,21 @@ pub trait Scheme {
     fn decode_with_workers(&self, antennas: &[&[Complex32]], workers: usize) -> Vec<DecodedPacket> {
         let _ = workers;
         self.decode(antennas)
+    }
+
+    /// Decodes the trace while recording pipeline observability into
+    /// `metrics`. TnB-family schemes run their instrumented pipeline and
+    /// return the per-trace [`DecodeReport`]; the default (baselines
+    /// without an instrumented pipeline) decodes normally, records
+    /// nothing, and returns `None`.
+    fn decode_observed(
+        &self,
+        antennas: &[&[Complex32]],
+        workers: usize,
+        metrics: &PipelineMetrics,
+    ) -> (Vec<DecodedPacket>, Option<DecodeReport>) {
+        let _ = metrics;
+        (self.decode_with_workers(antennas, workers), None)
     }
 }
 
@@ -161,6 +176,20 @@ impl Scheme for TnbScheme {
             return self.decode(antennas);
         }
         ParallelReceiver::with_config(self.params, self.cfg, workers).decode_multi(antennas)
+    }
+    fn decode_observed(
+        &self,
+        antennas: &[&[Complex32]],
+        workers: usize,
+        metrics: &PipelineMetrics,
+    ) -> (Vec<DecodedPacket>, Option<DecodeReport>) {
+        let (decoded, report) = if workers <= 1 {
+            self.rx.decode_multi_report_observed(antennas, metrics)
+        } else {
+            ParallelReceiver::with_config(self.params, self.cfg, workers)
+                .decode_multi_report_observed(antennas, metrics)
+        };
+        (decoded, Some(report))
     }
 }
 

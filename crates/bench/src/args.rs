@@ -1,6 +1,10 @@
 //! Minimal command-line parsing shared by the experiment binaries (no
 //! external dependency; flags follow `--name value`).
 
+/// Usage string shared by every experiment binary.
+pub const USAGE: &str =
+    "supported: --duration S --runs N --seed N --loads a,b,c --json-out FILE --quick";
+
 /// Common experiment knobs.
 #[derive(Debug, Clone)]
 pub struct ExpArgs {
@@ -14,6 +18,9 @@ pub struct ExpArgs {
     pub loads: Vec<f64>,
     /// Base RNG seed.
     pub seed: u64,
+    /// Write machine-readable results (BENCH JSON, including stage
+    /// timings when the binary records them) to this path.
+    pub json_out: Option<String>,
     /// Quick mode: restricts sweeps for smoke tests.
     pub quick: bool,
 }
@@ -25,44 +32,64 @@ impl Default for ExpArgs {
             runs: 1,
             loads: vec![5.0, 10.0, 15.0, 20.0, 25.0],
             seed: 1,
+            json_out: None,
             quick: false,
         }
     }
 }
 
 impl ExpArgs {
-    /// Parses `std::env::args()`; unknown flags abort with a usage
-    /// message.
+    /// Parses `std::env::args()`; malformed or unknown flags abort with a
+    /// message naming the offending flag plus the usage line.
     pub fn parse() -> Self {
-        let mut out = ExpArgs::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
+        match Self::try_parse(&args) {
+            Ok(out) => out,
+            Err(msg) => {
+                eprintln!("{msg}; {USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument slice, returning a usage error (naming the
+    /// offending flag) instead of panicking on malformed input.
+    pub fn try_parse(args: &[String]) -> Result<Self, String> {
+        let mut out = ExpArgs::default();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--duration" => {
-                    out.duration_s = next(&args, &mut i).parse().expect("--duration seconds");
+                    out.duration_s = parse_value(args, &mut i, "--duration", "seconds")?;
                 }
                 "--runs" => {
-                    out.runs = next(&args, &mut i).parse().expect("--runs count");
+                    out.runs = parse_value(args, &mut i, "--runs", "a count")?;
                 }
                 "--seed" => {
-                    out.seed = next(&args, &mut i).parse().expect("--seed value");
+                    out.seed = parse_value(args, &mut i, "--seed", "an integer")?;
                 }
                 "--loads" => {
-                    out.loads = next(&args, &mut i)
+                    out.loads = next(args, &mut i, "--loads")?
                         .split(',')
-                        .map(|s| s.parse().expect("--loads a,b,c"))
-                        .collect();
+                        .map(|s| {
+                            s.parse().map_err(|_| {
+                                format!("--loads expects comma-separated numbers, got {s:?}")
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if out.loads.is_empty() {
+                        return Err("--loads expects at least one load".into());
+                    }
+                }
+                "--json-out" => {
+                    out.json_out = Some(next(args, &mut i, "--json-out")?.to_string());
                 }
                 "--quick" => {
                     out.quick = true;
                     i += 1;
                 }
                 other => {
-                    eprintln!(
-                        "unknown flag {other}; supported: --duration S --runs N --seed N --loads a,b,c --quick"
-                    );
-                    std::process::exit(2);
+                    return Err(format!("unknown flag {other}"));
                 }
             }
         }
@@ -71,24 +98,91 @@ impl ExpArgs {
             out.loads = vec![*out.loads.last().unwrap_or(&25.0)];
             out.runs = 1;
         }
-        out
+        Ok(out)
     }
 }
 
-fn next<'a>(args: &'a [String], i: &mut usize) -> &'a str {
+fn next<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
     *i += 2;
     args.get(*i - 1)
-        .unwrap_or_else(|| panic!("flag {} needs a value", args[*i - 2]))
+        .map(String::as_str)
+        .ok_or_else(|| format!("flag {flag} needs a value"))
+}
+
+fn parse_value<T: std::str::FromStr>(
+    args: &[String],
+    i: &mut usize,
+    flag: &str,
+    expects: &str,
+) -> Result<T, String> {
+    let raw = next(args, i, flag)?;
+    raw.parse()
+        .map_err(|_| format!("{flag} expects {expects}, got {raw:?}"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn defaults_match_paper_sweep() {
         let a = ExpArgs::default();
         assert_eq!(a.loads, vec![5.0, 10.0, 15.0, 20.0, 25.0]);
+        assert_eq!(a.runs, 1);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = ExpArgs::try_parse(&argv(&[
+            "--duration",
+            "2.5",
+            "--runs",
+            "4",
+            "--seed",
+            "9",
+            "--loads",
+            "5,10",
+            "--json-out",
+            "out.json",
+        ]))
+        .unwrap();
+        assert_eq!(a.duration_s, 2.5);
+        assert_eq!(a.runs, 4);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.loads, vec![5.0, 10.0]);
+        assert_eq!(a.json_out.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn malformed_values_name_the_flag() {
+        for (args, flag) in [
+            (argv(&["--duration", "abc"]), "--duration"),
+            (argv(&["--runs", "1.5"]), "--runs"),
+            (argv(&["--seed", "xyzzy"]), "--seed"),
+            (argv(&["--loads", "5,ten"]), "--loads"),
+        ] {
+            let err = ExpArgs::try_parse(&args).unwrap_err();
+            assert!(err.contains(flag), "{err:?} should mention {flag}");
+        }
+    }
+
+    #[test]
+    fn missing_value_and_unknown_flag_are_errors() {
+        let err = ExpArgs::try_parse(&argv(&["--seed"])).unwrap_err();
+        assert!(err.contains("--seed"), "{err:?}");
+        let err = ExpArgs::try_parse(&argv(&["--frobnicate"])).unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err:?}");
+    }
+
+    #[test]
+    fn quick_mode_restricts_sweep() {
+        let a = ExpArgs::try_parse(&argv(&["--quick"])).unwrap();
+        assert!(a.quick);
+        assert_eq!(a.loads, vec![25.0]);
         assert_eq!(a.runs, 1);
     }
 }

@@ -8,10 +8,13 @@
 use tnb_baselines::SchemeKind;
 use tnb_bench::{ExpArgs, TablePrinter};
 use tnb_phy::{CodingRate, LoRaParams, SpreadingFactor};
-use tnb_sim::{build_experiment, run_scheme, Deployment, ExperimentConfig};
+use tnb_sim::{build_experiment, run_scheme, run_scheme_observed, Deployment, ExperimentConfig};
 
 fn main() {
     let args = ExpArgs::parse();
+    // With --json-out, rows (throughput per cell, plus TnB stage timings
+    // from the observability layer) are also written as BENCH JSON.
+    let mut json_rows: Vec<String> = Vec::new();
     let schemes = [
         SchemeKind::Tnb,
         SchemeKind::Cic,
@@ -56,6 +59,7 @@ fn main() {
                 for &load in &args.loads {
                     let mut row = vec![format!("{load}")];
                     let mut tp = std::collections::HashMap::new();
+                    let mut tnb_metrics = None;
                     for run in 0..args.runs {
                         let cfg = ExperimentConfig {
                             load_pps: load,
@@ -65,13 +69,41 @@ fn main() {
                         };
                         let built = build_experiment(&cfg);
                         for kind in schemes {
-                            let r = run_scheme(kind.build(params).as_ref(), &built);
+                            let scheme = kind.build(params);
+                            let r = if kind == SchemeKind::Tnb && args.json_out.is_some() {
+                                let r = run_scheme_observed(scheme.as_ref(), &built, 1);
+                                tnb_metrics = r.stage_metrics;
+                                r
+                            } else {
+                                run_scheme(scheme.as_ref(), &built)
+                            };
                             *tp.entry(kind.name()).or_insert(0.0) +=
                                 r.throughput_pps / args.runs as f64;
                         }
                     }
                     for kind in schemes {
                         row.push(format!("{:.2}", tp[kind.name()]));
+                    }
+                    if args.json_out.is_some() {
+                        for kind in schemes {
+                            let mut obj = format!(
+                                "{{\"deployment\":\"{}\",\"sf\":{},\"cr\":{},\"load\":{load},\
+                                 \"scheme\":\"{}\",\"throughput_pps\":{:.4}",
+                                dep.name(),
+                                sf.value(),
+                                cr.value(),
+                                kind.name(),
+                                tp[kind.name()],
+                            );
+                            if kind == SchemeKind::Tnb {
+                                if let Some(snap) = &tnb_metrics {
+                                    obj.push_str(",\"metrics\":");
+                                    obj.push_str(&snap.to_json());
+                                }
+                            }
+                            obj.push('}');
+                            json_rows.push(obj);
+                        }
                     }
                     if (load - top_load).abs() < 1e-9 {
                         let cic = tp["CIC"].max(1e-9);
@@ -81,6 +113,20 @@ fn main() {
                 }
                 t.print();
             }
+        }
+    }
+
+    if let Some(path) = &args.json_out {
+        let body = format!(
+            "{{\"benchmark\":\"fig12_14_throughput\",\"duration_s\":{},\"runs\":{},\
+             \"rows\":[{}]}}",
+            args.duration_s,
+            args.runs,
+            json_rows.join(","),
+        );
+        match std::fs::write(path, body) {
+            Ok(()) => println!("\nwrote {path} ({} rows)", json_rows.len()),
+            Err(e) => eprintln!("\nfailed to write {path}: {e}"),
         }
     }
 

@@ -2,6 +2,8 @@
 
 use tnb_baselines::SchemeKind;
 use tnb_channel::io::{load_trace, save_trace};
+use tnb_channel::trace::{PacketConfig, TraceBuilder};
+use tnb_core::{DecodeReport, MetricsSnapshot, ParallelReceiver, Stage, TnbReceiver};
 use tnb_phy::{CodingRate, LoRaParams, SpreadingFactor};
 use tnb_sim::traffic::parse_payload;
 use tnb_sim::{build_experiment, Deployment, ExperimentConfig};
@@ -22,6 +24,12 @@ commands:
 
   compare --trace FILE --sf N [--cr N] [--workers N]
       decode with every scheme and print the comparison table
+
+  report (--trace FILE | --demo-collision) [--sf N] [--cr N] [--seed N]
+         [--workers N] [--json]
+      decode with the TnB pipeline and print the observability report:
+      per-stage wall times, event counters and distributions.
+      --demo-collision synthesizes a seeded 3-packet SF8 collision
 
   info --trace FILE
       print basic trace statistics";
@@ -47,6 +55,10 @@ impl<'a> Flags<'a> {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v}")),
         }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
     }
 }
 
@@ -144,6 +156,133 @@ pub fn compare(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Synthesizes the seeded three-packet collision used by the repo's
+/// determinism tests: three SF8/CR4 packets from distinct nodes, the
+/// middle one colliding with both neighbours.
+fn demo_collision(params: LoRaParams, seed: u64) -> Vec<tnb_dsp::Complex32> {
+    let l = params.samples_per_symbol();
+    let mut b = TraceBuilder::new(params, seed);
+    let cfg = [
+        (vec![0xA1u8; 16], 4_000usize, 12.0f32, 1_500.0f64),
+        (vec![0x5B; 16], 4_000 + 14 * l + 300, 10.0, -2_200.0),
+        (vec![0x3C; 16], 4_000 + 28 * l + 900, 9.0, 800.0),
+    ];
+    for (payload, start_sample, snr_db, cfo_hz) in cfg {
+        b.add_packet(
+            &payload,
+            PacketConfig {
+                start_sample,
+                snr_db,
+                cfo_hz,
+                ..Default::default()
+            },
+        );
+    }
+    b.build().samples().to_vec()
+}
+
+/// Renders the observability report as one JSON object: top-level decode
+/// outcome, per-stage deterministic counters, then the wall-time and
+/// distribution snapshot.
+fn report_json(workers: usize, report: &DecodeReport, snapshot: &MetricsSnapshot) -> String {
+    let mut stages = String::new();
+    for (i, &stage) in Stage::ALL.iter().enumerate() {
+        if i > 0 {
+            stages.push(',');
+        }
+        stages.push_str(&format!("\"{}\":{{", stage.name()));
+        for (j, (name, value)) in report.stages.stage_fields(stage).iter().enumerate() {
+            if j > 0 {
+                stages.push(',');
+            }
+            stages.push_str(&format!("\"{name}\":{value}"));
+        }
+        stages.push('}');
+    }
+    format!(
+        "{{\"scheme\":\"tnb\",\"workers\":{workers},\
+         \"detected\":{},\"decoded\":{},\"header_failures\":{},\
+         \"payload_failures\":{},\"truncated\":{},\
+         \"stage_counters\":{{{stages}}},\"metrics\":{}}}",
+        report.detected,
+        report.decoded,
+        report.header_failures,
+        report.payload_failures,
+        report.truncated,
+        snapshot.to_json(),
+    )
+}
+
+/// `tnb-cli report`: decode with the TnB pipeline and print per-stage
+/// wall times, counters and distributions (the observability layer).
+pub fn report(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args);
+    let (params, samples) = if flags.has("--demo-collision") {
+        let sf = SpreadingFactor::from_value(flags.parse_or("--sf", 8usize)?)
+            .ok_or("--sf must be 7..=12")?;
+        let cr =
+            CodingRate::from_value(flags.parse_or("--cr", 4usize)?).ok_or("--cr must be 1..=4")?;
+        let params = LoRaParams::new(sf, cr);
+        (
+            params,
+            demo_collision(params, flags.parse_or("--seed", 7u64)?),
+        )
+    } else {
+        let path = flags.require("--trace")?;
+        let params = parse_params(&flags)?;
+        (params, load_trace(path).map_err(|e| e.to_string())?)
+    };
+    let workers: usize = flags.parse_or("--workers", 1usize)?.max(1);
+    let (decoded, report, snapshot) = if workers > 1 {
+        ParallelReceiver::new(params, workers).decode_with_metrics(&samples)
+    } else {
+        TnbReceiver::new(params).decode_with_metrics(&samples)
+    };
+
+    if flags.has("--json") {
+        println!("{}", report_json(workers, &report, &snapshot));
+        return Ok(());
+    }
+
+    println!(
+        "decoded {} / {} detected  (header fail {}, payload fail {}, truncated {})",
+        decoded.len(),
+        report.detected,
+        report.header_failures,
+        report.payload_failures,
+        report.truncated,
+    );
+    println!(
+        "{:<8} {:>6} {:>12} {:>10} {:>10}  counters",
+        "stage", "spans", "wall_sum_us", "p50_us", "p99_us"
+    );
+    for stage in Stage::ALL {
+        let w = snapshot.wall(stage);
+        let counters = report
+            .stages
+            .stage_fields(stage)
+            .iter()
+            .map(|(name, value)| format!("{name}={value}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!(
+            "{:<8} {:>6} {:>12.1} {:>10.1} {:>10.1}  {counters}",
+            stage.name(),
+            w.count,
+            w.sum as f64 / 1e3,
+            w.p50 as f64 / 1e3,
+            w.p99 as f64 / 1e3,
+        );
+    }
+    let cost = &snapshot.matching_cost_milli;
+    let cand = &snapshot.bec_candidates;
+    println!(
+        "matching cost (milli): n={} p50={} p99={}   BEC candidates: n={} p50={} p99={}",
+        cost.count, cost.p50, cost.p99, cand.count, cand.p50, cand.p99,
+    );
+    Ok(())
+}
+
 /// `tnb-cli info`: basic statistics of a trace file.
 pub fn info(args: &[String]) -> Result<(), String> {
     let flags = Flags(args);
@@ -231,6 +370,39 @@ mod tests {
         .unwrap();
         compare(&s(&["--trace", path_s, "--sf", "8"])).unwrap();
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn report_demo_collision_emits_all_stages() {
+        // Human-readable path just has to run.
+        report(&s(&["--demo-collision", "--seed", "7"])).unwrap();
+        // JSON path: check the object carries every stage plus timings.
+        let params = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+        let samples = demo_collision(params, 7);
+        let (_, rep, snap) = TnbReceiver::new(params).decode_with_metrics(&samples);
+        let json = report_json(1, &rep, &snap);
+        for key in [
+            "\"detect\"",
+            "\"sync\"",
+            "\"sigcalc\"",
+            "\"thrive\"",
+            "\"bec\"",
+            "\"timings_ns\"",
+            "\"stage_counters\"",
+            "\"matching_cost_milli\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("\"decoded\":3"), "{json}");
+    }
+
+    #[test]
+    fn report_parallel_counters_match_serial() {
+        let params = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+        let samples = demo_collision(params, 7);
+        let (_, serial, _) = TnbReceiver::new(params).decode_with_metrics(&samples);
+        let (_, par, _) = ParallelReceiver::new(params, 4).decode_with_metrics(&samples);
+        assert_eq!(serial.stages, par.stages);
     }
 
     #[test]

@@ -25,6 +25,7 @@ fn main() -> ExitCode {
         "generate" => cmd::generate(rest),
         "decode" => cmd::decode(rest),
         "compare" => cmd::compare(rest),
+        "report" => cmd::report(rest),
         "info" => cmd::info(rest),
         "--help" | "-h" | "help" => {
             println!("{}", cmd::USAGE);

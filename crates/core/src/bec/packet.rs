@@ -28,6 +28,9 @@ pub struct BecStats {
     pub crc_checks: usize,
     /// Number of blocks where BEC generated repair candidates.
     pub repaired_blocks: usize,
+    /// Total repair candidates generated across all blocks (the size of
+    /// the combination space BEC draws from, before the `W` cap).
+    pub candidates_generated: usize,
 }
 
 /// Successful BEC packet decode.
@@ -58,6 +61,7 @@ pub fn decode_header_with_bec(
     let dec = decode_block(&rows, CodingRate::CR4);
     let mut stats = BecStats {
         repaired_blocks: dec.repaired as usize,
+        candidates_generated: dec.candidates.len(),
         ..BecStats::default()
     };
     let mut header: Option<Header> = None;
@@ -140,6 +144,7 @@ pub fn decode_payload_with_bec_limited(
             repaired,
         } = decode_block(&rows, p.cr);
         stats.repaired_blocks += repaired as usize;
+        stats.candidates_generated += candidates.len();
         block_candidates.push(candidates);
         default_choice.push(default_nibbles);
     }

@@ -14,10 +14,11 @@
 //!
 //! Step 4 (fractional timing/CFO) lives in [`crate::sync`].
 
-use crate::packet::DetectedPacket;
-use crate::sync::{fractional_sync_scratch, SyncConfig};
+use crate::packet::{same_transmission, DetectedPacket};
+use crate::sync::{fractional_sync_observed, SyncConfig};
 
 use tnb_dsp::{find_peaks, Complex32, DspScratch, PeakFinderConfig};
+use tnb_metrics::{PipelineMetrics, Stage, StageCounters};
 use tnb_phy::demodulate::Demodulator;
 use tnb_phy::params::LoRaParams;
 
@@ -101,16 +102,37 @@ impl Detector {
         samples: &[Complex32],
         scratch: &mut DspScratch,
     ) -> Vec<DetectedPacket> {
+        let metrics = PipelineMetrics::disabled();
+        let mut counters = StageCounters::default();
+        self.detect_observed(samples, scratch, &metrics, &mut counters)
+    }
+
+    /// [`Self::detect_with_scratch`] with observability: stage wall times
+    /// go to `metrics`, deterministic event counts to `counters`.
+    pub fn detect_observed(
+        &self,
+        samples: &[Complex32],
+        scratch: &mut DspScratch,
+        metrics: &PipelineMetrics,
+        counters: &mut StageCounters,
+    ) -> Vec<DetectedPacket> {
+        counters.detect_windows += (samples.len() / self.params.samples_per_symbol()) as u64;
+        let t0 = metrics.now();
+        let runs = self.scan_preambles(samples, scratch);
+        metrics.record_span(Stage::Detect, t0);
+        counters.detect_runs += runs.len() as u64;
         let mut out: Vec<DetectedPacket> = Vec::new();
-        for run in self.scan_preambles(samples, scratch) {
+        for run in runs {
             if std::env::var("TNB_DEBUG_DETECT").is_ok() {
                 eprintln!(
                     "DBG run first_window={} bin={} len={}",
                     run.first_window, run.bin, run.len
                 );
             }
-            if let Some(p) = self.validate_and_sync(samples, &run, scratch) {
-                Self::push_dedup(&mut out, p, self.params.samples_per_symbol() as f64);
+            if let Some(p) = self.validate_and_sync(samples, &run, scratch, metrics, counters) {
+                if merge_dedup(&mut out, p, self.params.samples_per_symbol() as f64) {
+                    counters.detect_duplicates += 1;
+                }
             }
         }
         out.sort_by(|a, b| a.start.total_cmp(&b.start));
@@ -125,12 +147,34 @@ impl Detector {
     /// the serial path: candidates are deduplicated in scan order, exactly
     /// as [`Self::detect`] does.
     pub fn detect_parallel(&self, samples: &[Complex32], workers: usize) -> Vec<DetectedPacket> {
+        let metrics = PipelineMetrics::disabled();
+        let mut counters = StageCounters::default();
+        self.detect_parallel_observed(samples, workers, &metrics, &mut counters)
+    }
+
+    /// [`Self::detect_parallel`] with observability. Each validation
+    /// worker records into its own [`PipelineMetrics`] and
+    /// [`StageCounters`], merged after join; merges are commutative sums,
+    /// so the totals equal the serial path's regardless of scheduling.
+    pub fn detect_parallel_observed(
+        &self,
+        samples: &[Complex32],
+        workers: usize,
+        metrics: &PipelineMetrics,
+        counters: &mut StageCounters,
+    ) -> Vec<DetectedPacket> {
         let workers = workers.max(1);
         if workers == 1 {
-            return self.detect(samples);
+            let mut scratch = DspScratch::new();
+            return self.detect_observed(samples, &mut scratch, metrics, counters);
         }
         let mut scratch = DspScratch::new();
+        counters.detect_windows += (samples.len() / self.params.samples_per_symbol()) as u64;
+        let t0 = metrics.now();
         let runs = self.scan_preambles(samples, &mut scratch);
+        metrics.record_span(Stage::Detect, t0);
+        counters.detect_runs += runs.len() as u64;
+        let enabled = metrics.is_enabled();
         let mut validated: Vec<Option<DetectedPacket>> = vec![None; runs.len()];
         let next = std::sync::atomic::AtomicUsize::new(0);
         std::thread::scope(|s| {
@@ -138,45 +182,49 @@ impl Detector {
                 .map(|_| {
                     s.spawn(|| {
                         let mut scratch = DspScratch::new();
+                        let wm = if enabled {
+                            PipelineMetrics::enabled()
+                        } else {
+                            PipelineMetrics::disabled()
+                        };
+                        let mut wc = StageCounters::default();
                         let mut local: Vec<(usize, DetectedPacket)> = Vec::new();
                         loop {
                             let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             if i >= runs.len() {
                                 break;
                             }
-                            if let Some(p) = self.validate_and_sync(samples, &runs[i], &mut scratch)
-                            {
+                            if let Some(p) = self.validate_and_sync(
+                                samples,
+                                &runs[i],
+                                &mut scratch,
+                                &wm,
+                                &mut wc,
+                            ) {
                                 local.push((i, p));
                             }
                         }
-                        local
+                        (local, wm, wc)
                     })
                 })
                 .collect();
             for h in handles {
-                for (i, p) in h.join().expect("validation worker panicked") {
+                let (local, wm, wc) = h.join().expect("validation worker panicked");
+                metrics.absorb(&wm);
+                counters.absorb(&wc);
+                for (i, p) in local {
                     validated[i] = Some(p);
                 }
             }
         });
         let mut out: Vec<DetectedPacket> = Vec::new();
         for p in validated.into_iter().flatten() {
-            Self::push_dedup(&mut out, p, self.params.samples_per_symbol() as f64);
+            if merge_dedup(&mut out, p, self.params.samples_per_symbol() as f64) {
+                counters.detect_duplicates += 1;
+            }
         }
         out.sort_by(|a, b| a.start.total_cmp(&b.start));
         out
-    }
-
-    /// Appends `p` unless an equivalent packet is already present.
-    /// Deduplication matters because two runs (e.g. split by a collision
-    /// glitch) can describe the same preamble.
-    fn push_dedup(out: &mut Vec<DetectedPacket>, p: DetectedPacket, l: f64) {
-        let dup = out.iter().any(|q| {
-            (q.start - p.start).abs() < l / 4.0 && (q.cfo_cycles - p.cfo_cycles).abs() < 1.5
-        });
-        if !dup {
-            out.push(p);
-        }
     }
 
     /// Step 1: scan for runs of same-bin peaks across consecutive windows.
@@ -268,13 +316,42 @@ impl Detector {
     }
 
     /// Steps 2–4 for one preamble run: whole-symbol validation, coarse
-    /// timing/CFO, then the fractional search.
+    /// timing/CFO (timed as [`Stage::Detect`]), then the fractional search
+    /// (timed as [`Stage::Sync`]).
     fn validate_and_sync(
         &self,
         samples: &[Complex32],
         run: &PreambleRun,
         scratch: &mut DspScratch,
+        metrics: &PipelineMetrics,
+        counters: &mut StageCounters,
     ) -> Option<DetectedPacket> {
+        let t0 = metrics.now();
+        let coarse = self.validate_coarse(samples, run, scratch);
+        metrics.record_span(Stage::Detect, t0);
+        let (s_coarse, cfo_est) = coarse?;
+        // Step 4: fractional timing and CFO around the integer-bin CFO.
+        let cfo_int = cfo_est.round();
+        fractional_sync_observed(
+            samples,
+            &self.demod,
+            s_coarse,
+            cfo_int,
+            &SyncConfig::default(),
+            scratch,
+            metrics,
+            counters,
+        )
+    }
+
+    /// Steps 2–3 for one preamble run: whole-symbol validation and coarse
+    /// timing/CFO estimation.
+    fn validate_coarse(
+        &self,
+        samples: &[Complex32],
+        run: &PreambleRun,
+        scratch: &mut DspScratch,
+    ) -> Option<(i64, f64)> {
         let l = self.params.samples_per_symbol() as i64;
         let u = self.params.osf as i64;
         let n = self.params.n() as i64;
@@ -389,16 +466,7 @@ impl Detector {
         if s_coarse < 0 {
             return None;
         }
-        // Step 4: fractional timing and CFO around the integer-bin CFO.
-        let cfo_int = cfo_est.round();
-        fractional_sync_scratch(
-            samples,
-            &self.demod,
-            s_coarse,
-            cfo_int,
-            &SyncConfig::default(),
-            scratch,
-        )
+        Some((s_coarse, cfo_est))
     }
 
     /// Signal vector of one window, processed with the downchirp
@@ -468,6 +536,31 @@ impl Detector {
     }
 }
 
+/// Merges `p` into `out` under the shared [`same_transmission`] predicate:
+/// appends when no equivalent detection is present, otherwise keeps the
+/// higher-scored (`preamble_peak`) of the two. Returns `true` when `p` was
+/// a duplicate. Deduplication matters because two runs (e.g. split by a
+/// collision glitch) or two antennas can describe the same preamble, and
+/// keeping the stronger observation gives Thrive the better history
+/// bootstrap.
+pub(crate) fn merge_dedup(out: &mut Vec<DetectedPacket>, p: DetectedPacket, l: f64) -> bool {
+    match out
+        .iter()
+        .position(|q| same_transmission(q.start, q.cfo_cycles, p.start, p.cfo_cycles, l))
+    {
+        Some(i) => {
+            if p.preamble_peak > out[i].preamble_peak {
+                out[i] = p;
+            }
+            true
+        }
+        None => {
+            out.push(p);
+            false
+        }
+    }
+}
+
 /// Maps a bin in `[0, n)` to the centred range `[−n/2, n/2)`.
 pub(crate) fn center(x: i64, n: i64) -> i64 {
     ((x + n / 2).rem_euclid(n)) - n / 2
@@ -496,5 +589,28 @@ mod tests {
         assert!(bins_close(0, 255, 256, 1));
         assert!(bins_close(255, 0, 256, 1));
         assert!(!bins_close(0, 250, 256, 2));
+    }
+
+    #[test]
+    fn merge_dedup_keeps_higher_peak() {
+        let l = 1024.0;
+        let mk = |start: f64, cfo: f64, peak: f32| DetectedPacket {
+            start,
+            cfo_cycles: cfo,
+            preamble_peak: peak,
+        };
+        let mut out = vec![mk(1000.0, 0.5, 10.0)];
+        // Duplicate (within l/4 and 1.5 bins) with a stronger preamble
+        // replaces the weaker observation in place.
+        assert!(merge_dedup(&mut out, mk(1100.0, 0.2, 25.0), l));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].preamble_peak, 25.0);
+        assert_eq!(out[0].start, 1100.0);
+        // A weaker duplicate is still reported as one but changes nothing.
+        assert!(merge_dedup(&mut out, mk(1050.0, 0.4, 5.0), l));
+        assert_eq!(out[0].preamble_peak, 25.0);
+        // Same start but far-off CFO is a different transmission.
+        assert!(!merge_dedup(&mut out, mk(1100.0, 4.0, 1.0), l));
+        assert_eq!(out.len(), 2);
     }
 }

@@ -14,8 +14,13 @@ pub mod streaming;
 pub mod sync;
 pub mod thrive;
 
+/// Pipeline observability (counters, gauges, histograms), re-exported so
+/// downstream crates reach it without a manifest dependency of their own.
+pub use tnb_metrics as metrics;
+
 pub use detect::{Detector, DetectorConfig};
-pub use packet::{DecodedPacket, DetectedPacket};
+pub use packet::{same_transmission, DecodedPacket, DetectedPacket};
 pub use parallel::ParallelReceiver;
 pub use receiver::{DecodeReport, TnbConfig, TnbReceiver};
 pub use streaming::{StreamingConfig, StreamingReceiver};
+pub use tnb_metrics::{MetricsSnapshot, PipelineMetrics, Stage, StageCounters};

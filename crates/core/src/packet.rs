@@ -26,6 +26,22 @@ impl DetectedPacket {
     }
 }
 
+/// True when two detections describe the same transmission: starts within
+/// a quarter symbol *and* CFOs within 1.5 bins. This single predicate is
+/// shared by the detector's deduplication, the receivers' cross-antenna
+/// candidate merges and the streaming frontend's overlap deduplication,
+/// so a packet can never be double-emitted by one layer using a looser
+/// window than another.
+pub fn same_transmission(
+    start_a: f64,
+    cfo_a: f64,
+    start_b: f64,
+    cfo_b: f64,
+    samples_per_symbol: f64,
+) -> bool {
+    (start_a - start_b).abs() < samples_per_symbol / 4.0 && (cfo_a - cfo_b).abs() < 1.5
+}
+
 /// A successfully decoded packet.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecodedPacket {

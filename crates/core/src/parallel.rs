@@ -21,12 +21,13 @@
 //! by packet start sample — so the output is byte-identical to the
 //! serial [`TnbReceiver`] regardless of worker count or scheduling.
 
-use crate::detect::Detector;
+use crate::detect::{merge_dedup, Detector};
 use crate::packet::{DecodedPacket, DetectedPacket};
 use crate::receiver::{DecodeReport, TnbConfig, TnbReceiver};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use tnb_dsp::{Complex32, DspScratch};
+use tnb_metrics::{MetricsSnapshot, PipelineMetrics, StageCounters};
 use tnb_phy::block;
 use tnb_phy::demodulate::Demodulator;
 use tnb_phy::params::{CodingRate, LoRaParams};
@@ -101,22 +102,53 @@ impl ParallelReceiver {
         &self,
         antennas: &[&[Complex32]],
     ) -> (Vec<DecodedPacket>, DecodeReport) {
+        let metrics = PipelineMetrics::disabled();
+        self.decode_multi_report_observed(antennas, &metrics)
+    }
+
+    /// [`Self::decode`] with full observability: metrics are recorded
+    /// per worker thread and merged after join (commutative sums), so the
+    /// aggregate counters equal the serial receiver's.
+    pub fn decode_with_metrics(
+        &self,
+        samples: &[Complex32],
+    ) -> (Vec<DecodedPacket>, DecodeReport, MetricsSnapshot) {
+        self.decode_multi_with_metrics(&[samples])
+    }
+
+    /// Multi-antenna [`Self::decode_with_metrics`].
+    pub fn decode_multi_with_metrics(
+        &self,
+        antennas: &[&[Complex32]],
+    ) -> (Vec<DecodedPacket>, DecodeReport, MetricsSnapshot) {
+        let metrics = PipelineMetrics::enabled();
+        let (decoded, report) = self.decode_multi_report_observed(antennas, &metrics);
+        (decoded, report, metrics.snapshot())
+    }
+
+    /// The full parallel decode with an externally owned metrics sink.
+    pub fn decode_multi_report_observed(
+        &self,
+        antennas: &[&[Complex32]],
+        metrics: &PipelineMetrics,
+    ) -> (Vec<DecodedPacket>, DecodeReport) {
         assert!(!antennas.is_empty());
         let detector = Detector::with_config(self.params, self.cfg.detector);
         let l = self.params.samples_per_symbol() as f64;
+        let mut counters = StageCounters::default();
         let mut detected: Vec<DetectedPacket> = Vec::new();
         for ant in antennas {
-            for p in detector.detect_parallel(ant, self.workers) {
-                let dup = detected.iter().any(|q| {
-                    (q.start - p.start).abs() < l / 4.0 && (q.cfo_cycles - p.cfo_cycles).abs() < 1.5
-                });
-                if !dup {
-                    detected.push(p);
+            for p in detector.detect_parallel_observed(ant, self.workers, metrics, &mut counters) {
+                if merge_dedup(&mut detected, p, l) {
+                    counters.detect_duplicates += 1;
                 }
             }
         }
         detected.sort_by(|a, b| a.start.total_cmp(&b.start));
-        self.decode_detected_report(&detected, detector.demodulator(), antennas)
+        let (decoded, mut report) =
+            self.decode_detected_observed(&detected, detector.demodulator(), antennas, metrics);
+        report.stages.absorb(&counters);
+        (decoded, report)
     }
 
     /// Decodes pre-detected packets over worker threads. `detected` must
@@ -127,8 +159,26 @@ impl ParallelReceiver {
         demod: &Demodulator,
         antennas: &[&[Complex32]],
     ) -> (Vec<DecodedPacket>, DecodeReport) {
+        let metrics = PipelineMetrics::disabled();
+        self.decode_detected_observed(detected, demod, antennas, &metrics)
+    }
+
+    /// [`Self::decode_detected_report`] with an observability sink: each
+    /// worker records into its own [`PipelineMetrics`], absorbed into
+    /// `metrics` after join.
+    pub fn decode_detected_observed(
+        &self,
+        detected: &[DetectedPacket],
+        demod: &Demodulator,
+        antennas: &[&[Complex32]],
+        metrics: &PipelineMetrics,
+    ) -> (Vec<DecodedPacket>, DecodeReport) {
         let clusters = self.clusters(detected);
         let workers = self.workers.min(clusters.len()).max(1);
+        if metrics.is_enabled() {
+            metrics.clusters.set(clusters.len() as f64);
+            metrics.workers.set(workers as f64);
+        }
 
         if workers == 1 {
             // One worker: decode the same work items inline, one scratch.
@@ -137,14 +187,20 @@ impl ParallelReceiver {
             let mut all = Vec::new();
             let mut total = DecodeReport::default();
             for c in &clusters {
-                let (d, r) =
-                    rx.decode_detected_report(&detected[c.clone()], demod, antennas, &mut scratch);
+                let (d, r) = rx.decode_detected_observed(
+                    &detected[c.clone()],
+                    demod,
+                    antennas,
+                    &mut scratch,
+                    metrics,
+                );
                 all.extend(d);
                 total.absorb(&r);
             }
             return (all, total);
         }
 
+        let enabled = metrics.is_enabled();
         let next = AtomicUsize::new(0);
         let mut results: Vec<Option<(Vec<DecodedPacket>, DecodeReport)>> = Vec::new();
         results.resize_with(clusters.len(), || None);
@@ -153,10 +209,16 @@ impl ParallelReceiver {
                 .map(|_| {
                     s.spawn(|| {
                         // Each worker owns a receiver (the report slot is
-                        // interior-mutable, so receivers are not shared)
-                        // and a scratch reused across its work items.
+                        // interior-mutable, so receivers are not shared),
+                        // a scratch reused across its work items, and a
+                        // metrics sink merged after join.
                         let rx = TnbReceiver::with_config(self.params, self.cfg);
                         let mut scratch = DspScratch::new();
+                        let wm = if enabled {
+                            PipelineMetrics::enabled()
+                        } else {
+                            PipelineMetrics::disabled()
+                        };
                         let mut local = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -165,20 +227,23 @@ impl ParallelReceiver {
                             }
                             local.push((
                                 i,
-                                rx.decode_detected_report(
+                                rx.decode_detected_observed(
                                     &detected[clusters[i].clone()],
                                     demod,
                                     antennas,
                                     &mut scratch,
+                                    &wm,
                                 ),
                             ));
                         }
-                        local
+                        (local, wm)
                     })
                 })
                 .collect();
             for h in handles {
-                for (i, r) in h.join().expect("decode worker panicked") {
+                let (local, wm) = h.join().expect("decode worker panicked");
+                metrics.absorb(&wm);
+                for (i, r) in local {
                     results[i] = Some(r);
                 }
             }

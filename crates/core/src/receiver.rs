@@ -4,7 +4,7 @@
 //! masked).
 
 use crate::bec;
-use crate::detect::{Detector, DetectorConfig};
+use crate::detect::{merge_dedup, Detector, DetectorConfig};
 use crate::packet::{DecodedPacket, DetectedPacket};
 use crate::sigcalc::{estimate_snr_db, SigCalc};
 use crate::thrive::{
@@ -12,6 +12,7 @@ use crate::thrive::{
     ThriveConfig,
 };
 use tnb_dsp::{Complex32, DspScratch};
+use tnb_metrics::{MetricsSnapshot, PipelineMetrics, Stage, StageCounters};
 use tnb_phy::block;
 use tnb_phy::decoder as phy_decoder;
 use tnb_phy::header::Header;
@@ -65,6 +66,11 @@ pub struct DecodeReport {
     pub payload_failures: usize,
     /// Packets that ran off the end of the trace.
     pub truncated: usize,
+    /// Deterministic per-stage event counts (windows scanned, sync
+    /// attempts, signal vectors computed, peaks considered, CRC checks, …).
+    /// Identical between the serial and parallel receivers on the same
+    /// input; wall-time measurements live in [`MetricsSnapshot`] instead.
+    pub stages: StageCounters,
 }
 
 impl DecodeReport {
@@ -77,6 +83,7 @@ impl DecodeReport {
         self.header_failures += other.header_failures;
         self.payload_failures += other.payload_failures;
         self.truncated += other.truncated;
+        self.stages.absorb(&other.stages);
     }
 }
 
@@ -161,26 +168,62 @@ impl TnbReceiver {
     /// result in a high outage probability for single antenna systems");
     /// signal vectors are then summed over all antennas.
     pub fn decode_multi(&self, antennas: &[&[Complex32]]) -> Vec<DecodedPacket> {
+        let metrics = PipelineMetrics::disabled();
+        let (decoded, report) = self.decode_multi_report_observed(antennas, &metrics);
+        self.last_report.set(Some(report));
+        decoded
+    }
+
+    /// [`Self::decode`] with full observability: returns the decoded
+    /// packets, the per-trace report (including deterministic stage
+    /// counters) and a snapshot of the wall-time/distribution metrics.
+    pub fn decode_with_metrics(
+        &self,
+        samples: &[Complex32],
+    ) -> (Vec<DecodedPacket>, DecodeReport, MetricsSnapshot) {
+        self.decode_multi_with_metrics(&[samples])
+    }
+
+    /// Multi-antenna [`Self::decode_with_metrics`].
+    pub fn decode_multi_with_metrics(
+        &self,
+        antennas: &[&[Complex32]],
+    ) -> (Vec<DecodedPacket>, DecodeReport, MetricsSnapshot) {
+        let metrics = PipelineMetrics::enabled();
+        let (decoded, report) = self.decode_multi_report_observed(antennas, &metrics);
+        (decoded, report, metrics.snapshot())
+    }
+
+    /// The full decode with an externally owned metrics sink — the common
+    /// core of [`Self::decode_multi`] and [`Self::decode_with_metrics`].
+    pub fn decode_multi_report_observed(
+        &self,
+        antennas: &[&[Complex32]],
+        metrics: &PipelineMetrics,
+    ) -> (Vec<DecodedPacket>, DecodeReport) {
         assert!(!antennas.is_empty());
         let mut scratch = DspScratch::new();
         let detector = Detector::with_config(self.params, self.cfg.detector);
         let l = self.params.samples_per_symbol() as f64;
+        let mut counters = StageCounters::default();
         let mut detected: Vec<DetectedPacket> = Vec::new();
         for ant in antennas {
-            for p in detector.detect_with_scratch(ant, &mut scratch) {
-                let dup = detected.iter().any(|q| {
-                    (q.start - p.start).abs() < l / 4.0 && (q.cfo_cycles - p.cfo_cycles).abs() < 1.5
-                });
-                if !dup {
-                    detected.push(p);
+            for p in detector.detect_observed(ant, &mut scratch, metrics, &mut counters) {
+                if merge_dedup(&mut detected, p, l) {
+                    counters.detect_duplicates += 1;
                 }
             }
         }
         detected.sort_by(|a, b| a.start.total_cmp(&b.start));
-        let (decoded, report) =
-            self.decode_detected_report(&detected, detector.demodulator(), antennas, &mut scratch);
-        self.last_report.set(Some(report));
-        decoded
+        let (decoded, mut report) = self.decode_detected_observed(
+            &detected,
+            detector.demodulator(),
+            antennas,
+            &mut scratch,
+            metrics,
+        );
+        report.stages.absorb(&counters);
+        (decoded, report)
     }
 
     /// Decodes given pre-detected packets (used by the evaluation harness
@@ -210,7 +253,24 @@ impl TnbReceiver {
         antennas: &[&[Complex32]],
         scratch: &mut DspScratch,
     ) -> (Vec<DecodedPacket>, DecodeReport) {
-        let mut sig = SigCalc::new(demod, antennas, scratch);
+        let metrics = PipelineMetrics::disabled();
+        self.decode_detected_observed(detected, demod, antennas, scratch, &metrics)
+    }
+
+    /// [`Self::decode_detected_report`] with an observability sink for
+    /// stage wall times and distributions; the deterministic stage
+    /// counters ride in the returned report.
+    pub fn decode_detected_observed(
+        &self,
+        detected: &[DetectedPacket],
+        demod: &tnb_phy::demodulate::Demodulator,
+        antennas: &[&[Complex32]],
+        scratch: &mut DspScratch,
+        metrics: &PipelineMetrics,
+    ) -> (Vec<DecodedPacket>, DecodeReport) {
+        let pool_before = scratch.pool_stats();
+        let mut counters = StageCounters::default();
+        let mut sig = SigCalc::observed(demod, antennas, scratch, Some(metrics));
 
         let mut tracked: Vec<Tracked> = detected
             .iter()
@@ -253,7 +313,14 @@ impl TnbReceiver {
             .collect();
 
         // Pass 1: everything participates; known peaks are the preambles.
-        self.run_pass(&mut sig, &mut tracked, antennas[0].len() as i64, 1);
+        self.run_pass(
+            &mut sig,
+            &mut tracked,
+            antennas[0].len() as i64,
+            1,
+            metrics,
+            &mut counters,
+        );
 
         if self.cfg.two_pass && tracked.iter().any(|t| t.status == Status::Failed) {
             // Pass 2: re-examine failures with decoded packets' peaks
@@ -269,7 +336,22 @@ impl TnbReceiver {
                     }
                 }
             }
-            self.run_pass(&mut sig, &mut tracked, antennas[0].len() as i64, 2);
+            self.run_pass(
+                &mut sig,
+                &mut tracked,
+                antennas[0].len() as i64,
+                2,
+                metrics,
+                &mut counters,
+            );
+        }
+
+        counters.sigcalc_vectors += sig.vectors_computed();
+        drop(sig);
+        if metrics.is_enabled() {
+            let (hits, misses) = scratch.pool_stats();
+            metrics.pool_hits.add(hits - pool_before.0);
+            metrics.pool_misses.add(misses - pool_before.1);
         }
 
         let report = DecodeReport {
@@ -294,6 +376,7 @@ impl TnbReceiver {
                 .iter()
                 .filter(|t| t.failure == Failure::Truncated && t.status == Status::Failed)
                 .count(),
+            stages: counters,
         };
         let decoded = tracked
             .into_iter()
@@ -314,7 +397,15 @@ impl TnbReceiver {
         (decoded, report)
     }
 
-    fn run_pass(&self, sig: &mut SigCalc<'_>, tracked: &mut [Tracked], trace_len: i64, pass: u8) {
+    fn run_pass(
+        &self,
+        sig: &mut SigCalc<'_>,
+        tracked: &mut [Tracked],
+        trace_len: i64,
+        pass: u8,
+        metrics: &PipelineMetrics,
+        counters: &mut StageCounters,
+    ) {
         let l = self.params.samples_per_symbol() as i64;
         if tracked.is_empty() {
             return;
@@ -380,6 +471,10 @@ impl TnbReceiver {
                 };
             }
 
+            let t0 = metrics.now();
+            // Note: checkpoint assignment pulls missing signal vectors
+            // from SigCalc on demand, so this span *contains* nested
+            // SigCalc spans; treat per-stage wall times as inclusive.
             assign_checkpoint_scratch(
                 sig,
                 &dets,
@@ -388,6 +483,7 @@ impl TnbReceiver {
                 &mut ws,
                 &mut assignments,
             );
+            metrics.record_span(Stage::Thrive, t0);
             for a in &assignments {
                 let (i, j) = slots[a.slot];
                 let tr = &mut tracked[i];
@@ -400,14 +496,20 @@ impl TnbReceiver {
             // Header decode for packets that just completed symbol 7.
             for &(i, j) in &slots {
                 if j as usize == LoRaParams::HEADER_SYMBOLS - 1 {
-                    self.try_decode_header(&mut tracked[i], trace_len, l);
+                    self.try_decode_header(&mut tracked[i], trace_len, l, metrics, counters);
                 }
             }
             // Payload decode for packets whose last symbol was assigned.
             for &(i, _) in &slots {
-                self.try_decode_payload(&mut tracked[i]);
+                self.try_decode_payload(&mut tracked[i], metrics, counters);
             }
         }
+
+        let tally = ws.tally();
+        counters.thrive_checkpoints += tally.checkpoints;
+        counters.thrive_peaks_considered += tally.peaks_considered;
+        counters.thrive_assignments += tally.assignments;
+        counters.thrive_fallbacks += tally.fallbacks;
 
         // Anything still active did not complete (e.g. ran off the trace).
         for tr in tracked.iter_mut() {
@@ -472,7 +574,14 @@ impl TnbReceiver {
         out.dedup();
     }
 
-    fn try_decode_header(&self, tr: &mut Tracked, trace_len: i64, l: i64) {
+    fn try_decode_header(
+        &self,
+        tr: &mut Tracked,
+        trace_len: i64,
+        l: i64,
+        metrics: &PipelineMetrics,
+        counters: &mut StageCounters,
+    ) {
         if tr.header.is_some() && tr.n_symbols.is_some() {
             return; // kept from pass 1
         }
@@ -481,14 +590,20 @@ impl TnbReceiver {
             .copied()
             .collect();
         let Some(hs) = header_syms else { return };
+        counters.bec_calls += 1;
+        let t0 = metrics.now();
         let decoded = if self.cfg.use_bec {
-            bec::decode_header_with_bec(&hs, &self.params)
-                .map(|(h, extras, stats)| (h, extras, stats.rescued_codewords))
+            bec::decode_header_with_bec(&hs, &self.params).map(|(h, extras, stats)| {
+                counters.bec_candidates += stats.candidates_generated as u64;
+                metrics.record_bec_candidates(stats.candidates_generated as u64);
+                (h, extras, stats.rescued_codewords)
+            })
         } else {
             phy_decoder::decode_header(&hs, &self.params)
                 .ok()
                 .map(|dh| (dh.header, vec![dh.extra_nibbles], 0))
         };
+        metrics.record_span(Stage::Bec, t0);
         match decoded {
             Some((header, extras, rescued)) => {
                 let mut p = self.params;
@@ -520,7 +635,12 @@ impl TnbReceiver {
         }
     }
 
-    fn try_decode_payload(&self, tr: &mut Tracked) {
+    fn try_decode_payload(
+        &self,
+        tr: &mut Tracked,
+        metrics: &PipelineMetrics,
+        counters: &mut StageCounters,
+    ) {
         let Some(n_symbols) = tr.n_symbols else {
             return;
         };
@@ -533,10 +653,21 @@ impl TnbReceiver {
         let symbols: Vec<u16> = tr.values[..n_symbols].iter().map(|v| v.unwrap()).collect();
         let (header, extras) = tr.header.clone().expect("header before payload");
         let payload_syms = &symbols[LoRaParams::HEADER_SYMBOLS..];
+        counters.bec_calls += 1;
+        let t0 = metrics.now();
         let result = if self.cfg.use_bec {
-            bec::decode_payload_with_bec(payload_syms, &header, &extras, &self.params)
-                .ok()
-                .map(|d| (d.payload, d.stats.rescued_codewords))
+            let (result, stats) =
+                match bec::decode_payload_with_bec(payload_syms, &header, &extras, &self.params) {
+                    Ok(d) => {
+                        let stats = d.stats.clone();
+                        (Some((d.payload, d.stats.rescued_codewords)), stats)
+                    }
+                    Err(stats) => (None, stats),
+                };
+            counters.bec_candidates += stats.candidates_generated as u64;
+            counters.crc_checks += stats.crc_checks as u64;
+            metrics.record_bec_candidates(stats.candidates_generated as u64);
+            result
         } else {
             let mut p = self.params;
             p.cr = header.cr;
@@ -544,12 +675,15 @@ impl TnbReceiver {
             for rows in phy_decoder::received_payload_blocks(payload_syms, &p) {
                 nibbles.extend(phy_decoder::default_decode_rows(&rows, p.cr));
             }
+            counters.crc_checks += 1;
             phy_decoder::assemble_payload(&nibbles, header.payload_len as usize)
                 .ok()
                 .map(|payload| (payload, 0))
         };
+        metrics.record_span(Stage::Bec, t0);
         match result {
             Some((payload, rescued)) => {
+                counters.crc_pass += 1;
                 tr.rescued += rescued;
                 tr.decoded_payload = payload.clone();
                 // Re-encode to get the exact transmitted symbols for
@@ -560,6 +694,7 @@ impl TnbReceiver {
                 tr.status = Status::Decoded;
             }
             None => {
+                counters.crc_fail += 1;
                 if std::env::var("TNB_DEBUG_RX").is_ok() {
                     eprintln!(
                         "DBG payload decode failed for packet at {:.0}",

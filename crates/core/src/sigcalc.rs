@@ -8,6 +8,7 @@
 use crate::packet::DetectedPacket;
 use std::collections::HashMap;
 use tnb_dsp::{Complex32, DspScratch};
+use tnb_metrics::{PipelineMetrics, Stage};
 use tnb_phy::demodulate::Demodulator;
 use tnb_phy::params::LoRaParams;
 
@@ -24,6 +25,12 @@ pub struct SigCalc<'a> {
     scratch: &'a mut DspScratch,
     /// Cache keyed by (packet id, data-symbol index).
     cache: HashMap<(usize, isize), Option<Vec<f32>>>,
+    /// Optional observability sink (wall time of vector computation and
+    /// matching-cost samples recorded by Thrive through [`Self::metrics`]).
+    metrics: Option<&'a PipelineMetrics>,
+    /// Vectors computed so far (cache misses) — deterministic because the
+    /// cache is keyed by (packet id, symbol index).
+    computed: u64,
 }
 
 impl Drop for SigCalc<'_> {
@@ -44,13 +51,38 @@ impl<'a> SigCalc<'a> {
         antennas: &'a [&'a [Complex32]],
         scratch: &'a mut DspScratch,
     ) -> Self {
+        Self::observed(demod, antennas, scratch, None)
+    }
+
+    /// [`Self::new`] with an optional observability sink: vector
+    /// computations are timed under [`Stage::SigCalc`], and downstream
+    /// stages holding only the calculator can reach the sink via
+    /// [`Self::metrics`].
+    pub fn observed(
+        demod: &'a Demodulator,
+        antennas: &'a [&'a [Complex32]],
+        scratch: &'a mut DspScratch,
+        metrics: Option<&'a PipelineMetrics>,
+    ) -> Self {
         assert!(!antennas.is_empty(), "at least one antenna required");
         SigCalc {
             demod,
             antennas,
             scratch,
             cache: HashMap::new(),
+            metrics,
+            computed: 0,
         }
+    }
+
+    /// The observability sink, when one was attached.
+    pub fn metrics(&self) -> Option<&'a PipelineMetrics> {
+        self.metrics
+    }
+
+    /// Number of signal vectors computed (cache misses) so far.
+    pub fn vectors_computed(&self) -> u64 {
+        self.computed
     }
 
     /// Parameters in use.
@@ -77,7 +109,12 @@ impl<'a> SigCalc<'a> {
     ) -> Option<&Vec<f32>> {
         let key = (pkt_id, j);
         if !self.cache.contains_key(&key) {
+            self.computed += 1;
+            let t0 = self.metrics.and_then(PipelineMetrics::now);
             let v = self.compute(pkt, j);
+            if let Some(m) = self.metrics {
+                m.record_span(Stage::SigCalc, t0);
+            }
             self.cache.insert(key, v);
         }
         self.cache.get(&key).unwrap().as_ref()

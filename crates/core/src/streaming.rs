@@ -6,9 +6,10 @@
 //! keeps enough overlap that packets straddling a window boundary are
 //! decoded whole in the next round.
 
-use crate::packet::DecodedPacket;
-use crate::receiver::{TnbConfig, TnbReceiver};
+use crate::packet::{same_transmission, DecodedPacket};
+use crate::receiver::{DecodeReport, TnbConfig, TnbReceiver};
 use tnb_dsp::Complex32;
+use tnb_metrics::{MetricsSnapshot, PipelineMetrics};
 use tnb_phy::params::LoRaParams;
 use tnb_phy::Transmitter;
 
@@ -23,6 +24,11 @@ pub struct StreamingConfig {
     /// Process the buffer whenever it exceeds this many multiples of the
     /// longest packet airtime (larger = fewer, bigger batch decodes).
     pub window_factor: usize,
+    /// Record pipeline observability (stage wall times, distributions)
+    /// across the stream; read via
+    /// [`StreamingReceiver::metrics_snapshot`]. Off by default: the
+    /// disabled path never reads the clock.
+    pub observe: bool,
 }
 
 impl Default for StreamingConfig {
@@ -31,6 +37,7 @@ impl Default for StreamingConfig {
             receiver: TnbConfig::default(),
             max_payload: 64,
             window_factor: 4,
+            observe: false,
         }
     }
 }
@@ -47,10 +54,14 @@ pub struct StreamingReceiver {
     buffer: Vec<Complex32>,
     /// Absolute index of `buffer[0]` in the stream.
     base: u64,
-    /// Absolute starts of already emitted packets (for deduplication in
-    /// the overlap region).
-    emitted: Vec<f64>,
-    dedup_tolerance: f64,
+    /// Absolute (start, cfo_cycles) of already emitted packets, for
+    /// deduplication in the overlap region under the same
+    /// [`same_transmission`] predicate the detector uses.
+    emitted: Vec<(f64, f64)>,
+    samples_per_symbol: f64,
+    /// Cumulative observability across all batch decodes of the stream.
+    metrics: PipelineMetrics,
+    report: DecodeReport,
 }
 
 impl StreamingReceiver {
@@ -69,8 +80,28 @@ impl StreamingReceiver {
             buffer: Vec::new(),
             base: 0,
             emitted: Vec::new(),
-            dedup_tolerance: params.samples_per_symbol() as f64 / 4.0,
+            samples_per_symbol: params.samples_per_symbol() as f64,
+            metrics: if cfg.observe {
+                PipelineMetrics::enabled()
+            } else {
+                PipelineMetrics::disabled()
+            },
+            report: DecodeReport::default(),
         }
+    }
+
+    /// Cumulative decode report over every batch decode so far. Windows
+    /// overlap, so detection-side counters (windows scanned, packets
+    /// detected) can count a transmission more than once; emitted-packet
+    /// deduplication happens downstream of this report.
+    pub fn report(&self) -> DecodeReport {
+        self.report
+    }
+
+    /// Snapshot of the cumulative pipeline metrics (all zeros unless
+    /// [`StreamingConfig::observe`] was set).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Absolute index of the next sample [`Self::push`] will consume.
@@ -96,15 +127,21 @@ impl StreamingReceiver {
             self.base += drop as u64;
         }
         self.emitted
-            .retain(|&s| s >= self.base as f64 - self.max_packet_samples as f64);
+            .retain(|&(s, _)| s >= self.base as f64 - self.max_packet_samples as f64);
         out
     }
 
-    /// Flushes the remaining buffer at end of stream.
+    /// Flushes the remaining buffer at end of stream and resets the
+    /// receiver for a fresh stream: the buffer, the emitted-packet
+    /// deduplication memory and the absolute position all restart at
+    /// zero, so a reused receiver never suppresses packets that happen to
+    /// land near a previous stream's offsets. Cumulative
+    /// [`Self::report`]/[`Self::metrics_snapshot`] are preserved.
     pub fn finish(&mut self) -> Vec<DecodedPacket> {
         let out = self.process();
-        self.base += self.buffer.len() as u64;
         self.buffer.clear();
+        self.emitted.clear();
+        self.base = 0;
         out
     }
 
@@ -112,17 +149,19 @@ impl StreamingReceiver {
         if self.buffer.is_empty() {
             return Vec::new();
         }
+        let (decoded, report) = self
+            .rx
+            .decode_multi_report_observed(&[&self.buffer], &self.metrics);
+        self.report.absorb(&report);
         let mut out = Vec::new();
-        for mut d in self.rx.decode(&self.buffer) {
+        for mut d in decoded {
             let absolute = self.base as f64 + d.start;
-            if self
-                .emitted
-                .iter()
-                .any(|&s| (s - absolute).abs() < self.dedup_tolerance)
-            {
+            if self.emitted.iter().any(|&(s, cfo)| {
+                same_transmission(s, cfo, absolute, d.cfo_cycles, self.samples_per_symbol)
+            }) {
                 continue;
             }
-            self.emitted.push(absolute);
+            self.emitted.push((absolute, d.cfo_cycles));
             d.start = absolute;
             out.push(d);
         }

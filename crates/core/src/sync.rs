@@ -19,6 +19,7 @@
 
 use crate::packet::DetectedPacket;
 use tnb_dsp::{Complex32, DspScratch};
+use tnb_metrics::{PipelineMetrics, Stage, StageCounters};
 use tnb_phy::demodulate::Demodulator;
 use tnb_phy::params::LoRaParams;
 
@@ -62,6 +63,30 @@ pub fn fractional_sync(
 ) -> Option<DetectedPacket> {
     let mut scratch = DspScratch::new();
     fractional_sync_scratch(samples, demod, start, cfo_int, cfg, &mut scratch)
+}
+
+/// [`fractional_sync_scratch`] with observability: counts the attempt and
+/// its acceptance in `counters` and times the whole 36-point search under
+/// [`Stage::Sync`].
+#[allow(clippy::too_many_arguments)]
+pub fn fractional_sync_observed(
+    samples: &[Complex32],
+    demod: &Demodulator,
+    start: i64,
+    cfo_int: f64,
+    cfg: &SyncConfig,
+    scratch: &mut DspScratch,
+    metrics: &PipelineMetrics,
+    counters: &mut StageCounters,
+) -> Option<DetectedPacket> {
+    counters.sync_attempts += 1;
+    let t0 = metrics.now();
+    let out = fractional_sync_scratch(samples, demod, start, cfo_int, cfg, scratch);
+    metrics.record_span(Stage::Sync, t0);
+    if out.is_some() {
+        counters.sync_accepted += 1;
+    }
+    out
 }
 
 /// [`fractional_sync`] with a caller-owned [`DspScratch`], so the 36-point

@@ -181,6 +181,21 @@ struct Candidate {
     alive: bool,
 }
 
+/// Deterministic Thrive event tallies accumulated across checking points.
+/// Every field counts per-slot events, so the totals are identical
+/// between the serial and parallel receivers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThriveTally {
+    /// Checking points with at least one participating symbol.
+    pub checkpoints: u64,
+    /// Peak candidates that survived masking, across all slots.
+    pub peaks_considered: u64,
+    /// Assignments made (one per assignable slot).
+    pub assignments: u64,
+    /// Assignments that fell back to the strongest unmasked bin.
+    pub fallbacks: u64,
+}
+
 /// Reusable working storage for [`assign_checkpoint_scratch`]: per-slot
 /// vector copies, candidate lists and greedy-assignment bookkeeping keep
 /// their capacity across checking points, so the steady-state checkpoint
@@ -197,6 +212,15 @@ pub struct CheckpointScratch {
     costs: Vec<(i64, f32)>,
     /// Slots still awaiting an assignment.
     remaining: Vec<usize>,
+    /// Event tallies across all checkpoints run with this scratch.
+    tally: ThriveTally,
+}
+
+impl CheckpointScratch {
+    /// Event tallies accumulated so far.
+    pub fn tally(&self) -> ThriveTally {
+        self.tally
+    }
 }
 
 /// Runs one checking point: finds peaks in each symbol's signal vector,
@@ -236,6 +260,7 @@ pub fn assign_checkpoint_scratch(
     if m == 0 {
         return;
     }
+    ws.tally.checkpoints += 1;
 
     while ws.vectors.len() < m {
         ws.vectors.push(Vec::new());
@@ -286,6 +311,7 @@ pub fn assign_checkpoint_scratch(
                 }),
         );
     }
+    ws.tally.peaks_considered += ws.cands[..m].iter().map(|c| c.len() as u64).sum::<u64>();
 
     // Matching cost = sibling cost + history cost (paper §5.3.3). The
     // tallest sibling H* is read from the signal vectors of every other
@@ -322,6 +348,11 @@ pub fn assign_checkpoint_scratch(
             let w = sibling_cost(eta, h_star);
             let f = history_cost(eta, s_i.bounds.0, s_i.bounds.1, cfg);
             ws.cands[slot][ci].cost = w + f;
+            if let Some(mx) = sigcalc.metrics() {
+                // Costs are small non-negative floats; record them in
+                // milli-units so the integer histogram keeps resolution.
+                mx.record_cost(((w + f) as f64 * 1000.0) as u64);
+            }
         }
     }
 
@@ -370,6 +401,7 @@ pub fn assign_checkpoint_scratch(
             Some(p) => p,
             None => {
                 // Fallback: strongest unmasked bin of the raw vector.
+                ws.tally.fallbacks += 1;
                 fallback_bin(
                     &ws.vectors[chosen_slot],
                     &symbols[chosen_slot].masked_bins,
@@ -402,6 +434,7 @@ pub fn assign_checkpoint_scratch(
             }
         }
     }
+    ws.tally.assignments += out.len() as u64;
 }
 
 /// Strongest bin not within `tol` of any masked location; falls back to

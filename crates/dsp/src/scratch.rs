@@ -87,6 +87,8 @@ pub struct DspScratch {
     /// Real accumulator (signal vector summed across antennas).
     pub facc: Vec<f32>,
     pool: Vec<Vec<f32>>,
+    pool_hits: u64,
+    pool_misses: u64,
 }
 
 impl DspScratch {
@@ -100,11 +102,15 @@ impl DspScratch {
     pub fn take_f32(&mut self, len: usize) -> Vec<f32> {
         match self.pool.pop() {
             Some(mut v) => {
+                self.pool_hits += 1;
                 v.clear();
                 v.resize(len, 0.0);
                 v
             }
-            None => vec![0.0; len],
+            None => {
+                self.pool_misses += 1;
+                vec![0.0; len]
+            }
         }
     }
 
@@ -120,6 +126,14 @@ impl DspScratch {
     /// Number of vectors currently available in the recycling pool.
     pub fn pooled(&self) -> usize {
         self.pool.len()
+    }
+
+    /// Cumulative `(hits, misses)` of [`take_f32`](Self::take_f32) over
+    /// this scratch's lifetime: a hit reused a pooled allocation, a miss
+    /// allocated. Observability reads the delta around a decode to report
+    /// pool effectiveness.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        (self.pool_hits, self.pool_misses)
     }
 }
 

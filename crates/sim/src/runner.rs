@@ -9,6 +9,7 @@ use rand::{Rng, SeedableRng};
 use tnb_baselines::Scheme;
 use tnb_channel::fading::ChannelModel;
 use tnb_channel::trace::{PacketConfig, Trace, TraceBuilder};
+use tnb_core::{DecodeReport, MetricsSnapshot, PipelineMetrics};
 use tnb_phy::{LoRaParams, Transmitter};
 
 /// Configuration of one experiment run (one trace).
@@ -85,6 +86,13 @@ pub struct ExperimentResult {
     /// Airtime intervals (seconds) of the correctly decoded packets — the
     /// paper's lower-bound input for Figs. 11 and 18.
     pub decoded_intervals: Vec<(f64, f64)>,
+    /// Decode report with deterministic per-stage event counters. `None`
+    /// for schemes without TnB's instrumented pipeline, or when run
+    /// through the unobserved entry points.
+    pub report: Option<DecodeReport>,
+    /// Per-stage wall times and distributions. `None` unless run via
+    /// [`run_scheme_observed`].
+    pub stage_metrics: Option<MetricsSnapshot>,
 }
 
 /// Synthesizes the trace for a configuration.
@@ -163,12 +171,35 @@ pub fn run_scheme_limited(
     run_scheme_limited_with_workers(scheme, built, max_antennas, 1)
 }
 
+/// Like [`run_scheme_with_workers`] but with the observability layer on:
+/// the result carries the scheme's [`DecodeReport`] (deterministic stage
+/// counters) and a [`MetricsSnapshot`] of per-stage wall times, so BENCH
+/// outputs can report where decode time goes.
+pub fn run_scheme_observed(
+    scheme: &dyn Scheme,
+    built: &BuiltExperiment,
+    workers: usize,
+) -> ExperimentResult {
+    let metrics = PipelineMetrics::enabled();
+    run_scheme_inner(scheme, built, usize::MAX, workers, Some(&metrics))
+}
+
 /// The general runner: antenna cap and worker-count knob combined.
 pub fn run_scheme_limited_with_workers(
     scheme: &dyn Scheme,
     built: &BuiltExperiment,
     max_antennas: usize,
     workers: usize,
+) -> ExperimentResult {
+    run_scheme_inner(scheme, built, max_antennas, workers, None)
+}
+
+fn run_scheme_inner(
+    scheme: &dyn Scheme,
+    built: &BuiltExperiment,
+    max_antennas: usize,
+    workers: usize,
+    metrics: Option<&PipelineMetrics>,
 ) -> ExperimentResult {
     let refs: Vec<&[tnb_dsp::Complex32]> = built
         .trace
@@ -177,7 +208,10 @@ pub fn run_scheme_limited_with_workers(
         .take(max_antennas.max(1))
         .map(|a| a.as_slice())
         .collect();
-    let decoded = scheme.decode_with_workers(&refs, workers.max(1));
+    let (decoded, report) = match metrics {
+        Some(m) => scheme.decode_observed(&refs, workers.max(1), m),
+        None => (scheme.decode_with_workers(&refs, workers.max(1)), None),
+    };
     let matched = match_decoded(&decoded, &built.schedule);
     let sent = built.schedule.len();
     let correct = matched.correct.len();
@@ -200,6 +234,8 @@ pub fn run_scheme_limited_with_workers(
         throughput_pps: throughput(correct, built.config.duration_s),
         prr: overall_prr(correct, sent),
         decoded_intervals,
+        report,
+        stage_metrics: metrics.map(PipelineMetrics::snapshot),
     }
 }
 
@@ -251,6 +287,31 @@ mod tests {
         );
         assert_eq!(r.matched.unmatched, 0);
         assert!((r.throughput_pps - r.matched.correct.len() as f64 / 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_run_carries_report_and_timings() {
+        let cfg = quick_cfg();
+        let built = build_experiment(&cfg);
+        let scheme = SchemeKind::Tnb.build(cfg.params);
+        let plain = run_scheme(scheme.as_ref(), &built);
+        assert!(plain.report.is_none());
+        assert!(plain.stage_metrics.is_none());
+
+        let observed = run_scheme_observed(scheme.as_ref(), &built, 2);
+        assert_eq!(observed.matched.correct, plain.matched.correct);
+        let report = observed.report.expect("TnB returns a report");
+        assert_eq!(report.decoded, observed.matched.correct.len());
+        assert!(report.stages.sync_attempts >= report.detected as u64);
+        let snap = observed
+            .stage_metrics
+            .expect("observed run records timings");
+        assert!(snap.total_wall_ns() > 0);
+
+        // Baselines without the instrumented pipeline record no report.
+        let cic = SchemeKind::Cic.build(cfg.params);
+        let r = run_scheme_observed(cic.as_ref(), &built, 1);
+        assert!(r.report.is_none());
     }
 
     #[test]
