@@ -44,7 +44,9 @@ impl SeedableRng for StdRng {
     fn from_seed(seed: Self::Seed) -> Self {
         let mut s = [0u64; 4];
         for (i, chunk) in seed.chunks_exact(8).enumerate() {
-            s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(chunk);
+            s[i] = u64::from_le_bytes(bytes);
         }
         // An all-zero state is a fixed point of xoshiro; nudge it.
         if s == [0; 4] {

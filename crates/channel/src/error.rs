@@ -1,0 +1,48 @@
+//! Typed errors for trace I/O.
+//!
+//! Real gateway recordings arrive over flaky links and interrupted
+//! captures, so the readers in [`crate::io`] must never panic on a short
+//! or corrupt file: every malformed input surfaces as a [`TraceError`].
+
+use std::fmt;
+use std::io;
+
+/// Error reading or writing a trace file.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure (file missing, permission denied, ...).
+    Io(io::Error),
+    /// The file ends mid-sample: its length is not a whole number of
+    /// interleaved `i16` I/Q pairs (4 bytes per complex sample).
+    Truncated {
+        /// Total length of the file in bytes.
+        bytes: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Truncated { bytes } => write!(
+                f,
+                "truncated trace: {bytes} bytes is not a whole number of 4-byte I/Q samples"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Truncated { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}

@@ -1,0 +1,379 @@
+//! Composable, seed-deterministic fault injection for IQ traces.
+//!
+//! The receivers must keep decoding — degrading per packet, never
+//! panicking — when fed hostile input: truncated captures, dropped
+//! sample runs, NaN/Inf bins from a broken front end, ADC saturation,
+//! DC offset and IQ imbalance from cheap radios, and wideband
+//! interference bursts. A [`FaultPlan`] composes any number of
+//! [`Fault`]s and applies them to a trace; the same seed always yields
+//! the same corrupted output, so fault-matrix tests are reproducible.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tnb_dsp::Complex32;
+
+use crate::awgn::add_awgn;
+
+/// One injectable impairment. Positions are fractions of the trace
+/// length in `0.0..=1.0` so the same fault applies sensibly to traces
+/// of any length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Keep only the leading `keep` fraction of the samples (an
+    /// interrupted capture).
+    Truncate { keep: f64 },
+    /// Remove `len` samples starting at fraction `at` (USRP overflow /
+    /// dropped packets on the sample link); everything after the gap
+    /// shifts earlier, desynchronizing any packet that spans it.
+    DropGap { at: f64, len: usize },
+    /// Overwrite `len` samples at fraction `at` with NaN.
+    NanBurst { at: f64, len: usize },
+    /// Overwrite `len` samples at fraction `at` with ±infinity.
+    InfBurst { at: f64, len: usize },
+    /// Hard-clip both I and Q at `±level` (ADC saturation).
+    Clip { level: f32 },
+    /// Add a constant DC offset to every sample (LO leakage).
+    DcOffset { i: f32, q: f32 },
+    /// IQ imbalance: the Q rail is scaled by `gain_db` and skewed by
+    /// `phase_deg` relative to I.
+    IqImbalance { gain_db: f32, phase_deg: f32 },
+    /// Wideband interferer: complex Gaussian noise of total power
+    /// `power` added over `len` samples at fraction `at`.
+    Interferer { at: f64, len: usize, power: f32 },
+}
+
+impl Fault {
+    /// Short stable name for reports and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::Truncate { .. } => "truncate",
+            Fault::DropGap { .. } => "drop-gap",
+            Fault::NanBurst { .. } => "nan-burst",
+            Fault::InfBurst { .. } => "inf-burst",
+            Fault::Clip { .. } => "clip",
+            Fault::DcOffset { .. } => "dc-offset",
+            Fault::IqImbalance { .. } => "iq-imbalance",
+            Fault::Interferer { .. } => "interferer",
+        }
+    }
+}
+
+/// Resolves a fractional position to a start index in `0..len`.
+fn at_index(at: f64, len: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let at = at.clamp(0.0, 1.0);
+    ((at * len as f64) as usize).min(len - 1)
+}
+
+/// An ordered, seed-deterministic list of faults to inject into a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty (clean) plan. The seed only matters for faults that draw
+    /// randomness ([`Fault::Interferer`]).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Appends a fault (builder style). Faults apply in insertion order.
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The faults in application order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_clean(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Applies every fault to a copy of `samples`. Deterministic: the
+    /// RNG is re-seeded from the plan's seed on every call.
+    pub fn apply(&self, samples: &[Complex32]) -> Vec<Complex32> {
+        let mut out = samples.to_vec();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for fault in &self.faults {
+            apply_one(*fault, &mut out, &mut rng);
+        }
+        out
+    }
+
+    /// The standard fault matrix used by `tnb-cli faults` and the test
+    /// suite: one named plan per injector, a clean reference, and a
+    /// combined worst case.
+    pub fn matrix(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+        vec![
+            ("clean", FaultPlan::new(seed)),
+            (
+                "truncate",
+                FaultPlan::new(seed).with(Fault::Truncate { keep: 0.55 }),
+            ),
+            (
+                "drop-gap",
+                FaultPlan::new(seed).with(Fault::DropGap {
+                    at: 0.35,
+                    len: 1500,
+                }),
+            ),
+            (
+                "nan-burst",
+                FaultPlan::new(seed).with(Fault::NanBurst { at: 0.4, len: 256 }),
+            ),
+            (
+                "inf-burst",
+                FaultPlan::new(seed).with(Fault::InfBurst { at: 0.55, len: 64 }),
+            ),
+            (
+                "clip",
+                FaultPlan::new(seed).with(Fault::Clip { level: 1.5 }),
+            ),
+            (
+                "dc-offset",
+                FaultPlan::new(seed).with(Fault::DcOffset { i: 0.75, q: -0.5 }),
+            ),
+            (
+                "iq-imbalance",
+                FaultPlan::new(seed).with(Fault::IqImbalance {
+                    gain_db: 1.5,
+                    phase_deg: 8.0,
+                }),
+            ),
+            (
+                "interferer",
+                FaultPlan::new(seed).with(Fault::Interferer {
+                    at: 0.3,
+                    len: 20_000,
+                    power: 50.0,
+                }),
+            ),
+            (
+                "combined",
+                FaultPlan::new(seed)
+                    .with(Fault::DcOffset { i: 0.3, q: 0.2 })
+                    .with(Fault::IqImbalance {
+                        gain_db: 1.0,
+                        phase_deg: 5.0,
+                    })
+                    .with(Fault::NanBurst { at: 0.25, len: 128 })
+                    .with(Fault::Interferer {
+                        at: 0.5,
+                        len: 10_000,
+                        power: 25.0,
+                    })
+                    .with(Fault::Truncate { keep: 0.85 }),
+            ),
+        ]
+    }
+}
+
+fn apply_one(fault: Fault, out: &mut Vec<Complex32>, rng: &mut StdRng) {
+    match fault {
+        Fault::Truncate { keep } => {
+            let keep = keep.clamp(0.0, 1.0);
+            let n = (keep * out.len() as f64) as usize;
+            out.truncate(n);
+        }
+        Fault::DropGap { at, len } => {
+            let s = at_index(at, out.len());
+            let e = (s + len).min(out.len());
+            out.drain(s..e);
+        }
+        Fault::NanBurst { at, len } => {
+            let s = at_index(at, out.len());
+            let e = (s + len).min(out.len());
+            for z in &mut out[s..e] {
+                *z = Complex32::new(f32::NAN, f32::NAN);
+            }
+        }
+        Fault::InfBurst { at, len } => {
+            let s = at_index(at, out.len());
+            let e = (s + len).min(out.len());
+            for (k, z) in out[s..e].iter_mut().enumerate() {
+                // Alternate signs so the burst has no consistent DC bias.
+                let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+                *z = Complex32::new(sign * f32::INFINITY, -sign * f32::INFINITY);
+            }
+        }
+        Fault::Clip { level } => {
+            let level = level.abs();
+            for z in out.iter_mut() {
+                z.re = z.re.clamp(-level, level);
+                z.im = z.im.clamp(-level, level);
+            }
+        }
+        Fault::DcOffset { i, q } => {
+            let dc = Complex32::new(i, q);
+            for z in out.iter_mut() {
+                *z += dc;
+            }
+        }
+        Fault::IqImbalance { gain_db, phase_deg } => {
+            let g = 10f32.powf(gain_db / 20.0);
+            let phi = phase_deg.to_radians();
+            let (sin, cos) = (phi.sin(), phi.cos());
+            for z in out.iter_mut() {
+                // Common receive-side model: I passes through, Q picks up
+                // a gain mismatch and a phase skew that leaks I into Q.
+                z.im = g * (z.im * cos + z.re * sin);
+            }
+        }
+        Fault::Interferer { at, len, power } => {
+            let s = at_index(at, out.len());
+            let e = (s + len).min(out.len());
+            add_awgn(rng, &mut out[s..e], power);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<Complex32> {
+        (0..n)
+            .map(|i| Complex32::new(i as f32 * 0.01, -(i as f32) * 0.005))
+            .collect()
+    }
+
+    #[test]
+    fn clean_plan_is_identity() {
+        let x = ramp(500);
+        let plan = FaultPlan::new(7);
+        assert!(plan.is_clean());
+        assert_eq!(plan.apply(&x), x);
+    }
+
+    #[test]
+    fn apply_is_deterministic_per_seed() {
+        let x = ramp(4000);
+        let plan = FaultPlan::new(42).with(Fault::Interferer {
+            at: 0.2,
+            len: 1000,
+            power: 10.0,
+        });
+        let a = plan.apply(&x);
+        let b = plan.apply(&x);
+        assert_eq!(a, b);
+        let other = FaultPlan::new(43).with(Fault::Interferer {
+            at: 0.2,
+            len: 1000,
+            power: 10.0,
+        });
+        assert_ne!(other.apply(&x), a);
+    }
+
+    #[test]
+    fn truncate_shortens() {
+        let x = ramp(1000);
+        let y = FaultPlan::new(0)
+            .with(Fault::Truncate { keep: 0.25 })
+            .apply(&x);
+        assert_eq!(y.len(), 250);
+        assert_eq!(y[..], x[..250]);
+    }
+
+    #[test]
+    fn drop_gap_removes_and_shifts() {
+        let x = ramp(1000);
+        let y = FaultPlan::new(0)
+            .with(Fault::DropGap { at: 0.5, len: 100 })
+            .apply(&x);
+        assert_eq!(y.len(), 900);
+        assert_eq!(y[499], x[499]);
+        assert_eq!(y[500], x[600]);
+    }
+
+    #[test]
+    fn nan_and_inf_bursts_hit_only_their_window() {
+        let x = ramp(1000);
+        let y = FaultPlan::new(0)
+            .with(Fault::NanBurst { at: 0.1, len: 50 })
+            .with(Fault::InfBurst { at: 0.9, len: 10 })
+            .apply(&x);
+        assert!(y[100..150].iter().all(|z| z.re.is_nan() && z.im.is_nan()));
+        assert!(y[900..910].iter().all(|z| z.re.is_infinite()));
+        assert!(y[..100].iter().all(|z| z.re.is_finite()));
+        assert!(y[150..900].iter().all(|z| z.re.is_finite()));
+        assert!(y[910..].iter().all(|z| z.re.is_finite()));
+    }
+
+    #[test]
+    fn clip_bounds_everything() {
+        let x = ramp(1000);
+        let y = FaultPlan::new(0).with(Fault::Clip { level: 2.0 }).apply(&x);
+        assert!(y
+            .iter()
+            .all(|z| z.re.abs() <= 2.0 + f32::EPSILON && z.im.abs() <= 2.0 + f32::EPSILON));
+    }
+
+    #[test]
+    fn dc_offset_shifts_mean() {
+        let x = ramp(200);
+        let y = FaultPlan::new(0)
+            .with(Fault::DcOffset { i: 1.0, q: -2.0 })
+            .apply(&x);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((b.re - a.re - 1.0).abs() < 1e-6);
+            assert!((b.im - a.im + 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn interferer_raises_power_only_in_burst() {
+        let x = vec![Complex32::new(0.0, 0.0); 10_000];
+        let y = FaultPlan::new(3)
+            .with(Fault::Interferer {
+                at: 0.0,
+                len: 5000,
+                power: 4.0,
+            })
+            .apply(&x);
+        let p_burst: f32 = y[..5000].iter().map(|z| z.norm_sqr()).sum::<f32>() / 5000.0;
+        let p_rest: f32 = y[5000..].iter().map(|z| z.norm_sqr()).sum::<f32>();
+        assert!((p_burst - 4.0).abs() < 0.5, "burst power {p_burst}");
+        assert_eq!(p_rest, 0.0);
+    }
+
+    #[test]
+    fn matrix_contains_clean_and_every_injector() {
+        let m = FaultPlan::matrix(9);
+        let names: Vec<_> = m.iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"clean"));
+        for n in [
+            "truncate",
+            "drop-gap",
+            "nan-burst",
+            "inf-burst",
+            "clip",
+            "dc-offset",
+            "iq-imbalance",
+            "interferer",
+            "combined",
+        ] {
+            assert!(names.contains(&n), "missing {n}");
+        }
+        let clean = m.iter().find(|(n, _)| *n == "clean").map(|(_, p)| p);
+        assert!(clean.is_some_and(FaultPlan::is_clean));
+    }
+
+    #[test]
+    fn faults_on_empty_trace_do_not_panic() {
+        let empty: Vec<Complex32> = Vec::new();
+        for (_, plan) in FaultPlan::matrix(1) {
+            assert!(plan.apply(&empty).is_empty());
+        }
+    }
+}

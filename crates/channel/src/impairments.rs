@@ -22,22 +22,27 @@ pub fn apply_cfo(samples: &mut [Complex32], cfo_hz: f64, fs: f64) {
 /// linear interpolation: `out[n] = (1−frac)·x[n] + frac·x[n−1]`.
 ///
 /// Returns a vector one sample longer than the input (the delayed signal's
-/// tail spills into one extra sample).
+/// tail spills into one extra sample). An out-of-range or non-finite
+/// `frac` is wrapped into [0, 1) — only the fractional part of a delay is
+/// meaningful here (the integer part is packet placement) — so malformed
+/// configuration degrades instead of panicking.
 pub fn fractional_delay(samples: &[Complex32], frac: f32) -> Vec<Complex32> {
-    assert!(
-        (0.0..1.0).contains(&frac),
-        "frac must be in [0,1), got {frac}"
-    );
-    if samples.is_empty() {
-        return Vec::new();
-    }
+    let frac = if frac.is_finite() {
+        frac.rem_euclid(1.0)
+    } else {
+        0.0
+    };
+    let (first, last) = match (samples.first(), samples.last()) {
+        (Some(&f), Some(&l)) => (f, l),
+        _ => return Vec::new(),
+    };
     let a = 1.0 - frac;
     let mut out = Vec::with_capacity(samples.len() + 1);
-    out.push(samples[0] * a);
+    out.push(first * a);
     for i in 1..samples.len() {
         out.push(samples[i] * a + samples[i - 1] * frac);
     }
-    out.push(*samples.last().unwrap() * frac);
+    out.push(last * frac);
     out
 }
 
@@ -126,9 +131,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "frac must be in")]
-    fn out_of_range_frac_panics() {
-        fractional_delay(&[Complex32::ONE], 1.5);
+    fn out_of_range_frac_wraps_instead_of_panicking() {
+        let s = [Complex32::ONE, Complex32::I];
+        // 1.5 wraps to 0.5; -0.25 wraps to 0.75; NaN degrades to 0.
+        assert_eq!(fractional_delay(&s, 1.5), fractional_delay(&s, 0.5));
+        assert_eq!(fractional_delay(&s, -0.25), fractional_delay(&s, 0.75));
+        assert_eq!(fractional_delay(&s, f32::NAN), fractional_delay(&s, 0.0));
     }
 
     #[test]

@@ -13,6 +13,8 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 use tnb_dsp::Complex32;
 
+use crate::error::TraceError;
+
 /// Scale used when converting float samples to `i16`: the synthetic
 /// traces have unit noise power, so ±8 standard deviations of headroom
 /// around strong packets fits comfortably.
@@ -43,16 +45,14 @@ pub fn save_trace<P: AsRef<Path>>(path: P, samples: &[Complex32]) -> io::Result<
 }
 
 /// Reads interleaved little-endian `i16` I/Q pairs, dividing by `scale`.
-/// A trailing partial sample is an error.
-pub fn read_iq16<R: Read>(input: R, scale: f32) -> io::Result<Vec<Complex32>> {
+/// A trailing partial sample (a file length that is not a multiple of 4
+/// bytes) is reported as [`TraceError::Truncated`], never a panic.
+pub fn read_iq16<R: Read>(input: R, scale: f32) -> Result<Vec<Complex32>, TraceError> {
     let mut r = BufReader::new(input);
     let mut bytes = Vec::new();
     r.read_to_end(&mut bytes)?;
     if bytes.len() % 4 != 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("trace length {} is not a multiple of 4 bytes", bytes.len()),
-        ));
+        return Err(TraceError::Truncated { bytes: bytes.len() });
     }
     let inv = 1.0 / scale;
     Ok(bytes
@@ -66,7 +66,7 @@ pub fn read_iq16<R: Read>(input: R, scale: f32) -> io::Result<Vec<Complex32>> {
 }
 
 /// Reads a trace file written by [`save_trace`].
-pub fn load_trace<P: AsRef<Path>>(path: P) -> io::Result<Vec<Complex32>> {
+pub fn load_trace<P: AsRef<Path>>(path: P) -> Result<Vec<Complex32>, TraceError> {
     read_iq16(File::open(path)?, DEFAULT_SCALE)
 }
 
@@ -100,9 +100,18 @@ mod tests {
     }
 
     #[test]
-    fn truncated_file_is_an_error() {
+    fn truncated_file_is_a_typed_error() {
         let bytes = [1u8, 2, 3]; // not a multiple of 4
-        assert!(read_iq16(&bytes[..], 1.0).is_err());
+        match read_iq16(&bytes[..], 1.0) {
+            Err(TraceError::Truncated { bytes: 3 }) => {}
+            other => panic!("expected Truncated error, got {other:?}"),
+        }
+        // Odd-length beyond one sample: 2 full samples plus 2 stray bytes.
+        let bytes = [0u8; 10];
+        match read_iq16(&bytes[..], 1.0) {
+            Err(TraceError::Truncated { bytes: 10 }) => {}
+            other => panic!("expected Truncated error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -8,9 +8,13 @@
 //! single complex-sample trace with ground-truth metadata.
 
 pub mod awgn;
+pub mod error;
 pub mod fading;
+pub mod faults;
 pub mod impairments;
 pub mod io;
 pub mod trace;
 
+pub use error::TraceError;
+pub use faults::{Fault, FaultPlan};
 pub use trace::{GroundTruth, Trace, TraceBuilder};

@@ -129,9 +129,9 @@ impl TraceBuilder {
     }
 
     /// Uses `n` receive antennas (independent phase/fading per antenna).
+    /// At least one antenna always exists: `n = 0` is treated as 1.
     pub fn with_antennas(mut self, n: usize) -> Self {
-        assert!(n >= 1);
-        self.antennas = vec![Vec::new(); n];
+        self.antennas = vec![Vec::new(); n.max(1)];
         self
     }
 

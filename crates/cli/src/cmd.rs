@@ -3,7 +3,11 @@
 use tnb_baselines::SchemeKind;
 use tnb_channel::io::{load_trace, save_trace};
 use tnb_channel::trace::{PacketConfig, TraceBuilder};
-use tnb_core::{DecodeReport, MetricsSnapshot, ParallelReceiver, Stage, TnbReceiver};
+use tnb_channel::FaultPlan;
+use tnb_core::streaming::{StreamingConfig, StreamingReceiver};
+use tnb_core::{
+    DecodeReport, DegradeReason, MetricsSnapshot, ParallelReceiver, Stage, TnbReceiver,
+};
 use tnb_phy::{CodingRate, LoRaParams, SpreadingFactor};
 use tnb_sim::traffic::parse_payload;
 use tnb_sim::{build_experiment, Deployment, ExperimentConfig};
@@ -30,6 +34,15 @@ commands:
       decode with the TnB pipeline and print the observability report:
       per-stage wall times, event counters and distributions.
       --demo-collision synthesizes a seeded 3-packet SF8 collision
+
+  faults (--trace FILE | --demo-collision) [--sf N] [--cr N] [--seed N]
+         [--receiver serial|parallel|streaming|all] [--workers N] [--json]
+      run the seeded fault-injection matrix (truncation, sample gaps,
+      NaN/Inf bursts, clipping, DC offset, IQ imbalance, interferer
+      bursts) against the decode pipeline and print, per fault, how
+      the receiver degraded: detected/decoded counts, per-reason
+      degradation histogram and exhausted iteration budgets. The
+      clean row is the fault-free baseline
 
   info --trace FILE
       print basic trace statistics";
@@ -279,6 +292,190 @@ pub fn report(args: &[String]) -> Result<(), String> {
     println!(
         "matching cost (milli): n={} p50={} p99={}   BEC candidates: n={} p50={} p99={}",
         cost.count, cost.p50, cost.p99, cand.count, cand.p50, cand.p99,
+    );
+    Ok(())
+}
+
+/// All degradation reasons, in the order the fault report prints them.
+const REASONS: [DegradeReason; 5] = [
+    DegradeReason::Header,
+    DegradeReason::Payload,
+    DegradeReason::PayloadBudget,
+    DegradeReason::Truncated,
+    DegradeReason::WorkerPanic,
+];
+
+/// One fault-matrix row: which receiver saw which fault, and how it fared.
+struct FaultRow {
+    receiver: &'static str,
+    fault: &'static str,
+    samples: usize,
+    decoded: usize,
+    report: DecodeReport,
+}
+
+/// Decodes `samples` with one receiver flavour, returning packet count
+/// and the full report. Streaming pushes in 64k-sample chunks to
+/// exercise the chunk-boundary path.
+fn decode_flavour(
+    flavour: &'static str,
+    params: LoRaParams,
+    workers: usize,
+    samples: &[tnb_dsp::Complex32],
+) -> (usize, DecodeReport) {
+    match flavour {
+        "parallel" => {
+            let (d, r, _) = ParallelReceiver::new(params, workers).decode_with_metrics(samples);
+            (d.len(), r)
+        }
+        "streaming" => {
+            let cfg = StreamingConfig {
+                workers,
+                ..Default::default()
+            };
+            let mut rx = StreamingReceiver::with_config(params, cfg);
+            let mut n = 0;
+            for chunk in samples.chunks(65_536) {
+                n += rx.push(chunk).len();
+            }
+            n += rx.finish().len();
+            (n, rx.report())
+        }
+        _ => {
+            let (d, r, _) = TnbReceiver::new(params).decode_with_metrics(samples);
+            (d.len(), r)
+        }
+    }
+}
+
+/// Renders the fault matrix as a JSON array of row objects.
+fn faults_json(rows: &[FaultRow]) -> String {
+    let mut out = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut reasons = String::new();
+        for (j, r) in REASONS.iter().enumerate() {
+            if j > 0 {
+                reasons.push(',');
+            }
+            reasons.push_str(&format!(
+                "\"{}\":{}",
+                r.name(),
+                row.report.degraded_with(*r)
+            ));
+        }
+        out.push_str(&format!(
+            "{{\"receiver\":\"{}\",\"fault\":\"{}\",\"samples\":{},\
+             \"detected\":{},\"decoded\":{},\"degraded\":{},\
+             \"reasons\":{{{reasons}}},\
+             \"thrive_budget_exhausted\":{},\"bec_budget_exhausted\":{}}}",
+            row.receiver,
+            row.fault,
+            row.samples,
+            row.report.detected,
+            row.decoded,
+            row.report.degraded(),
+            row.report.stages.thrive_budget_exhausted,
+            row.report.stages.bec_budget_exhausted,
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// `tnb-cli faults`: run the seeded fault-injection matrix against the
+/// decode pipeline and report graceful-degradation behaviour per fault.
+pub fn faults(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args);
+    let seed: u64 = flags.parse_or("--seed", 7u64)?;
+    let (params, base) = if flags.has("--trace") {
+        let path = flags.require("--trace")?;
+        let params = parse_params(&flags)?;
+        (params, load_trace(path).map_err(|e| e.to_string())?)
+    } else {
+        let sf = SpreadingFactor::from_value(flags.parse_or("--sf", 8usize)?)
+            .ok_or("--sf must be 7..=12")?;
+        let cr =
+            CodingRate::from_value(flags.parse_or("--cr", 4usize)?).ok_or("--cr must be 1..=4")?;
+        let params = LoRaParams::new(sf, cr);
+        (params, demo_collision(params, seed))
+    };
+    let workers: usize = flags.parse_or("--workers", 2usize)?.max(1);
+    let flavours: Vec<&'static str> = match flags.get("--receiver").unwrap_or("all") {
+        "serial" => vec!["serial"],
+        "parallel" => vec!["parallel"],
+        "streaming" => vec!["streaming"],
+        "all" => vec!["serial", "parallel", "streaming"],
+        other => return Err(format!("unknown receiver {other}")),
+    };
+
+    let matrix = FaultPlan::matrix(seed);
+    let mut rows = Vec::new();
+    for flavour in &flavours {
+        for (name, plan) in &matrix {
+            let faulty = plan.apply(&base);
+            let (decoded, report) = decode_flavour(flavour, params, workers, &faulty);
+            rows.push(FaultRow {
+                receiver: flavour,
+                fault: name,
+                samples: faulty.len(),
+                decoded,
+                report,
+            });
+        }
+    }
+
+    if flags.has("--json") {
+        println!("{}", faults_json(&rows));
+        return Ok(());
+    }
+
+    println!(
+        "{:<10} {:<14} {:>9} {:>8} {:>7} {:>8}  degradation reasons / budgets",
+        "receiver", "fault", "samples", "detected", "decoded", "degraded"
+    );
+    for row in &rows {
+        let mut notes: Vec<String> = REASONS
+            .iter()
+            .filter_map(|r| {
+                let n = row.report.degraded_with(*r);
+                (n > 0).then(|| format!("{}={n}", r.name()))
+            })
+            .collect();
+        if row.report.stages.thrive_budget_exhausted > 0 {
+            notes.push(format!(
+                "thrive-budget={}",
+                row.report.stages.thrive_budget_exhausted
+            ));
+        }
+        if row.report.stages.bec_budget_exhausted > 0 {
+            notes.push(format!(
+                "bec-budget={}",
+                row.report.stages.bec_budget_exhausted
+            ));
+        }
+        println!(
+            "{:<10} {:<14} {:>9} {:>8} {:>7} {:>8}  {}",
+            row.receiver,
+            row.fault,
+            row.samples,
+            row.report.detected,
+            row.decoded,
+            row.report.degraded(),
+            if notes.is_empty() {
+                "-".to_string()
+            } else {
+                notes.join(" ")
+            },
+        );
+    }
+    println!(
+        "- fault matrix: {} faults x {} receivers, seed {}, no panics -",
+        matrix.len(),
+        flavours.len(),
+        seed
     );
     Ok(())
 }

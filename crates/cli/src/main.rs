@@ -26,6 +26,7 @@ fn main() -> ExitCode {
         "decode" => cmd::decode(rest),
         "compare" => cmd::compare(rest),
         "report" => cmd::report(rest),
+        "faults" => cmd::faults(rest),
         "info" => cmd::info(rest),
         "--help" | "-h" | "help" => {
             println!("{}", cmd::USAGE);

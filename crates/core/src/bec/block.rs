@@ -320,7 +320,9 @@ fn decode_cr4(rows: &[u8]) -> BlockDecode {
                     push_unique(&mut candidates, fix);
                 }
             }
-            _ => unreachable!(),
+            // xi.len() > 2 is excluded by the guard above; adding no
+            // candidate simply falls through to the default decode.
+            _ => {}
         }
         if !candidates.is_empty() {
             return BlockDecode {
@@ -394,7 +396,9 @@ fn decode_cr4(rows: &[u8]) -> BlockDecode {
             cols.dedup();
             try_all_triples(rows, &cols, &mut candidates);
         }
-        _ => unreachable!(),
+        // 0 and > 4 are excluded by the guard above; no candidates means
+        // the default decode stands.
+        _ => {}
     }
     if candidates.is_empty() {
         return single(info.default_nibbles);

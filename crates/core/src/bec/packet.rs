@@ -4,7 +4,7 @@
 
 use super::block::{decode_block, BlockDecode};
 use tnb_phy::block as phy_block;
-use tnb_phy::decoder::{assemble_payload, received_payload_blocks};
+use tnb_phy::decoder::{assemble_payload, default_decode_rows, received_payload_blocks};
 use tnb_phy::header::{Header, HEADER_NIBBLES};
 use tnb_phy::params::{CodingRate, LoRaParams};
 
@@ -31,6 +31,9 @@ pub struct BecStats {
     /// Total repair candidates generated across all blocks (the size of
     /// the combination space BEC draws from, before the `W` cap).
     pub candidates_generated: usize,
+    /// The per-packet candidate budget ran out: later blocks fell back to
+    /// their default decode without enumerating repairs.
+    pub budget_exhausted: bool,
 }
 
 /// Successful BEC packet decode.
@@ -119,6 +122,47 @@ pub fn decode_payload_with_bec_limited(
     params: &LoRaParams,
     w_override: Option<usize>,
 ) -> Result<BecPacketDecode, BecStats> {
+    decode_payload_with_bec_full(
+        payload_symbols,
+        header,
+        header_extras,
+        params,
+        w_override,
+        None,
+    )
+}
+
+/// [`decode_payload_with_bec`] with an explicit per-packet candidate
+/// budget: once the blocks decoded so far have generated more than
+/// `candidate_budget` repair candidates, the remaining blocks contribute
+/// only their default decode and `stats.budget_exhausted` is set. This
+/// bounds the work an adversarial symbol stream can trigger while leaving
+/// clean traces (whose candidate counts are tiny) bit-identical.
+pub fn decode_payload_with_bec_budgeted(
+    payload_symbols: &[u16],
+    header: &Header,
+    header_extras: &[Vec<u8>],
+    params: &LoRaParams,
+    candidate_budget: Option<usize>,
+) -> Result<BecPacketDecode, BecStats> {
+    decode_payload_with_bec_full(
+        payload_symbols,
+        header,
+        header_extras,
+        params,
+        None,
+        candidate_budget,
+    )
+}
+
+fn decode_payload_with_bec_full(
+    payload_symbols: &[u16],
+    header: &Header,
+    header_extras: &[Vec<u8>],
+    params: &LoRaParams,
+    w_override: Option<usize>,
+    candidate_budget: Option<usize>,
+) -> Result<BecPacketDecode, BecStats> {
     let mut p = *params;
     p.cr = header.cr;
     let payload_len = header.payload_len as usize;
@@ -138,6 +182,15 @@ pub fn decode_payload_with_bec_limited(
     }
 
     for rows in received_payload_blocks(payload_symbols, &p) {
+        if candidate_budget.is_some_and(|b| stats.candidates_generated > b) {
+            // Budget gone: skip BEC enumeration entirely for the rest of
+            // the packet; the plain Hamming decode stands in.
+            stats.budget_exhausted = true;
+            let default_nibbles = default_decode_rows(&rows, p.cr);
+            block_candidates.push(vec![default_nibbles.clone()]);
+            default_choice.push(default_nibbles);
+            continue;
+        }
         let BlockDecode {
             candidates,
             default_nibbles,

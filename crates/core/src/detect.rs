@@ -209,11 +209,14 @@ impl Detector {
                 })
                 .collect();
             for h in handles {
-                let (local, wm, wc) = h.join().expect("validation worker panicked");
-                metrics.absorb(&wm);
-                counters.absorb(&wc);
-                for (i, p) in local {
-                    validated[i] = Some(p);
+                // A panicking validation worker forfeits its runs (they stay
+                // unvalidated) instead of taking the whole pipeline down.
+                if let Ok((local, wm, wc)) = h.join() {
+                    metrics.absorb(&wm);
+                    counters.absorb(&wc);
+                    for (i, p) in local {
+                        validated[i] = Some(p);
+                    }
                 }
             }
         });

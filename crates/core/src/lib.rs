@@ -21,6 +21,6 @@ pub use tnb_metrics as metrics;
 pub use detect::{Detector, DetectorConfig};
 pub use packet::{same_transmission, DecodedPacket, DetectedPacket};
 pub use parallel::ParallelReceiver;
-pub use receiver::{DecodeReport, TnbConfig, TnbReceiver};
+pub use receiver::{DecodeOutcome, DecodeReport, DegradeReason, TnbConfig, TnbReceiver};
 pub use streaming::{StreamingConfig, StreamingReceiver};
 pub use tnb_metrics::{MetricsSnapshot, PipelineMetrics, Stage, StageCounters};

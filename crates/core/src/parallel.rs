@@ -23,8 +23,9 @@
 
 use crate::detect::{merge_dedup, Detector};
 use crate::packet::{DecodedPacket, DetectedPacket};
-use crate::receiver::{DecodeReport, TnbConfig, TnbReceiver};
+use crate::receiver::{DecodeOutcome, DecodeReport, DegradeReason, TnbConfig, TnbReceiver};
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use tnb_dsp::{Complex32, DspScratch};
 use tnb_metrics::{MetricsSnapshot, PipelineMetrics, StageCounters};
@@ -132,7 +133,9 @@ impl ParallelReceiver {
         antennas: &[&[Complex32]],
         metrics: &PipelineMetrics,
     ) -> (Vec<DecodedPacket>, DecodeReport) {
-        assert!(!antennas.is_empty());
+        if antennas.is_empty() {
+            return (Vec::new(), DecodeReport::default());
+        }
         let detector = Detector::with_config(self.params, self.cfg.detector);
         let l = self.params.samples_per_symbol() as f64;
         let mut counters = StageCounters::default();
@@ -187,7 +190,8 @@ impl ParallelReceiver {
             let mut all = Vec::new();
             let mut total = DecodeReport::default();
             for c in &clusters {
-                let (d, r) = rx.decode_detected_observed(
+                let (d, r) = decode_cluster_guarded(
+                    &rx,
                     &detected[c.clone()],
                     demod,
                     antennas,
@@ -227,7 +231,8 @@ impl ParallelReceiver {
                             }
                             local.push((
                                 i,
-                                rx.decode_detected_observed(
+                                decode_cluster_guarded(
+                                    &rx,
                                     &detected[clusters[i].clone()],
                                     demod,
                                     antennas,
@@ -241,10 +246,15 @@ impl ParallelReceiver {
                 })
                 .collect();
             for h in handles {
-                let (local, wm) = h.join().expect("decode worker panicked");
-                metrics.absorb(&wm);
-                for (i, r) in local {
-                    results[i] = Some(r);
+                // A worker dying outside the per-cluster guard (it should
+                // not — every decode is wrapped) must not abort the batch:
+                // its claimed-but-unreported clusters stay `None` and are
+                // backfilled as degraded below.
+                if let Ok((local, wm)) = h.join() {
+                    metrics.absorb(&wm);
+                    for (i, r) in local {
+                        results[i] = Some(r);
+                    }
                 }
             }
         });
@@ -254,7 +264,8 @@ impl ParallelReceiver {
         // the same packet order as the serial receiver.
         let mut all = Vec::new();
         let mut total = DecodeReport::default();
-        for (d, r) in results.into_iter().flatten() {
+        for (slot, ci) in results.into_iter().zip(&clusters) {
+            let (d, r) = slot.unwrap_or_else(|| degraded_cluster(&detected[ci.clone()]));
             all.extend(d);
             total.absorb(&r);
         }
@@ -294,6 +305,48 @@ impl ParallelReceiver {
             p.preamble_symbols() + block::data_symbol_count(self.max_payload_len, &p) as f64 + 1.0;
         syms * p.samples_per_symbol() as f64
     }
+}
+
+/// Decodes one cluster with a panic backstop: if anything inside the
+/// decode unwinds (a defect, not expected in normal operation), the
+/// cluster's packets are reported [`DegradeReason::WorkerPanic`] and the
+/// rest of the batch continues. The scratch is replaced after a panic —
+/// its buffers may be mid-mutation.
+fn decode_cluster_guarded(
+    rx: &TnbReceiver,
+    cluster: &[DetectedPacket],
+    demod: &Demodulator,
+    antennas: &[&[Complex32]],
+    scratch: &mut DspScratch,
+    metrics: &PipelineMetrics,
+) -> (Vec<DecodedPacket>, DecodeReport) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        rx.decode_detected_observed(cluster, demod, antennas, scratch, metrics)
+    }));
+    match result {
+        Ok(r) => r,
+        Err(_) => {
+            *scratch = DspScratch::new();
+            degraded_cluster(cluster)
+        }
+    }
+}
+
+/// The report for a cluster whose decode never completed: nothing
+/// decoded, every detection degraded with [`DegradeReason::WorkerPanic`].
+fn degraded_cluster(cluster: &[DetectedPacket]) -> (Vec<DecodedPacket>, DecodeReport) {
+    let report = DecodeReport {
+        detected: cluster.len(),
+        outcomes: cluster
+            .iter()
+            .map(|det| DecodeOutcome::Degraded {
+                start: det.start,
+                reason: DegradeReason::WorkerPanic,
+            })
+            .collect(),
+        ..DecodeReport::default()
+    };
+    (Vec::new(), report)
 }
 
 #[cfg(test)]
@@ -338,6 +391,17 @@ mod tests {
         let rx = rx();
         assert!(rx.clusters(&[]).is_empty());
         assert_eq!(rx.clusters(&[pkt(5000.0)]), vec![0..1]);
+    }
+
+    #[test]
+    fn degraded_cluster_reports_worker_panic_per_packet() {
+        let dets = [pkt(100.0), pkt(5000.0)];
+        let (decoded, report) = degraded_cluster(&dets);
+        assert!(decoded.is_empty());
+        assert_eq!(report.detected, 2);
+        assert_eq!(report.decoded, 0);
+        assert_eq!(report.degraded(), 2);
+        assert_eq!(report.degraded_with(DegradeReason::WorkerPanic), 2);
     }
 
     #[test]

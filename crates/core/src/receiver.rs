@@ -36,6 +36,13 @@ pub struct TnbConfig {
     /// estimates use the exact peak/noise relation; when `None`, a blind
     /// median-based estimate is used (compresses above ≈ 14 dB).
     pub noise_power: Option<f32>,
+    /// Upper bound on BEC candidate combinations generated per packet.
+    /// Adversarial symbol streams can make companion enumeration explode;
+    /// once the budget is hit the remaining blocks fall back to their
+    /// default decode and the packet is reported `PayloadBudget` if it
+    /// then fails the CRC. The default is far above anything a clean
+    /// trace generates, so normal decodes are unaffected.
+    pub bec_candidate_budget: usize,
 }
 
 impl Default for TnbConfig {
@@ -46,13 +53,65 @@ impl Default for TnbConfig {
             use_bec: true,
             two_pass: true,
             noise_power: Some(1.0),
+            bec_candidate_budget: 100_000,
         }
     }
 }
 
+/// Why a detected packet degraded instead of decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The PHY header never decoded.
+    Header,
+    /// Header decoded but the payload CRC never passed.
+    Payload,
+    /// The payload CRC never passed and the BEC combination budget ran
+    /// out first — a larger budget might still have decoded it.
+    PayloadBudget,
+    /// The packet ran off the end of the trace.
+    Truncated,
+    /// The decode of this packet's overlap cluster panicked; the cluster
+    /// was dropped so the rest of the batch could finish.
+    WorkerPanic,
+}
+
+impl DegradeReason {
+    /// Short stable name for reports and JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DegradeReason::Header => "header",
+            DegradeReason::Payload => "payload",
+            DegradeReason::PayloadBudget => "payload-budget",
+            DegradeReason::Truncated => "truncated",
+            DegradeReason::WorkerPanic => "worker-panic",
+        }
+    }
+}
+
+/// Per-packet outcome recorded in [`DecodeReport`]: every detected
+/// packet ends up either decoded or degraded-with-reason, so a batch
+/// over hostile input yields a full account instead of a crash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DecodeOutcome {
+    /// The payload passed the CRC.
+    Decoded {
+        /// Detected packet start (fractional sample index).
+        start: f64,
+        /// Decoding pass (1 or 2) that succeeded.
+        pass: u8,
+    },
+    /// Detected but not decoded.
+    Degraded {
+        /// Detected packet start (fractional sample index).
+        start: f64,
+        /// Why the packet did not decode.
+        reason: DegradeReason,
+    },
+}
+
 /// Per-trace decode diagnostics (what happened to every detected
 /// packet), returned by [`TnbReceiver::decode_with_report`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DecodeReport {
     /// Packets found by detection/synchronization.
     pub detected: usize,
@@ -66,6 +125,9 @@ pub struct DecodeReport {
     pub payload_failures: usize,
     /// Packets that ran off the end of the trace.
     pub truncated: usize,
+    /// One entry per detected packet, in detection order: decoded, or
+    /// degraded with the reason.
+    pub outcomes: Vec<DecodeOutcome>,
     /// Deterministic per-stage event counts (windows scanned, sync
     /// attempts, signal vectors computed, peaks considered, CRC checks, …).
     /// Identical between the serial and parallel receivers on the same
@@ -83,7 +145,24 @@ impl DecodeReport {
         self.header_failures += other.header_failures;
         self.payload_failures += other.payload_failures;
         self.truncated += other.truncated;
+        self.outcomes.extend_from_slice(&other.outcomes);
         self.stages.absorb(&other.stages);
+    }
+
+    /// Degraded outcomes carrying the given reason.
+    pub fn degraded_with(&self, reason: DegradeReason) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, DecodeOutcome::Degraded { reason: r, .. } if *r == reason))
+            .count()
+    }
+
+    /// All degraded outcomes.
+    pub fn degraded(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, DecodeOutcome::Degraded { .. }))
+            .count()
     }
 }
 
@@ -94,7 +173,7 @@ pub struct TnbReceiver {
     cfg: TnbConfig,
     /// Diagnostics of the most recent decode (interior mutability keeps
     /// the decode API `&self`).
-    last_report: std::cell::Cell<Option<DecodeReport>>,
+    last_report: std::cell::RefCell<Option<DecodeReport>>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +203,9 @@ struct Tracked {
     known_symbols: Option<Vec<u16>>,
     /// Where the most recent failure happened (for diagnostics).
     failure: Failure,
+    /// The BEC candidate budget ran out while decoding this packet's
+    /// payload (refines a `Payload` failure into `PayloadBudget`).
+    bec_budget_hit: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,7 +227,7 @@ impl TnbReceiver {
         TnbReceiver {
             params,
             cfg,
-            last_report: std::cell::Cell::new(None),
+            last_report: std::cell::RefCell::new(None),
         }
     }
 
@@ -158,7 +240,7 @@ impl TnbReceiver {
     /// diagnostics.
     pub fn decode_with_report(&self, samples: &[Complex32]) -> (Vec<DecodedPacket>, DecodeReport) {
         let decoded = self.decode_multi(&[samples]);
-        let report = self.last_report.take().unwrap_or_default();
+        let report = self.last_report.borrow_mut().take().unwrap_or_default();
         (decoded, report)
     }
 
@@ -170,7 +252,7 @@ impl TnbReceiver {
     pub fn decode_multi(&self, antennas: &[&[Complex32]]) -> Vec<DecodedPacket> {
         let metrics = PipelineMetrics::disabled();
         let (decoded, report) = self.decode_multi_report_observed(antennas, &metrics);
-        self.last_report.set(Some(report));
+        *self.last_report.borrow_mut() = Some(report);
         decoded
     }
 
@@ -201,7 +283,9 @@ impl TnbReceiver {
         antennas: &[&[Complex32]],
         metrics: &PipelineMetrics,
     ) -> (Vec<DecodedPacket>, DecodeReport) {
-        assert!(!antennas.is_empty());
+        if antennas.is_empty() {
+            return (Vec::new(), DecodeReport::default());
+        }
         let mut scratch = DspScratch::new();
         let detector = Detector::with_config(self.params, self.cfg.detector);
         let l = self.params.samples_per_symbol() as f64;
@@ -237,7 +321,7 @@ impl TnbReceiver {
         let mut scratch = DspScratch::new();
         let (decoded, report) =
             self.decode_detected_report(detected, demod, antennas, &mut scratch);
-        self.last_report.set(Some(report));
+        *self.last_report.borrow_mut() = Some(report);
         decoded
     }
 
@@ -268,6 +352,9 @@ impl TnbReceiver {
         scratch: &mut DspScratch,
         metrics: &PipelineMetrics,
     ) -> (Vec<DecodedPacket>, DecodeReport) {
+        if antennas.is_empty() {
+            return (Vec::new(), DecodeReport::default());
+        }
         let pool_before = scratch.pool_stats();
         let mut counters = StageCounters::default();
         let mut sig = SigCalc::observed(demod, antennas, scratch, Some(metrics));
@@ -308,6 +395,7 @@ impl TnbReceiver {
                     decoded_payload: Vec::new(),
                     known_symbols: None,
                     failure: Failure::None,
+                    bec_budget_hit: false,
                 }
             })
             .collect();
@@ -354,6 +442,26 @@ impl TnbReceiver {
             metrics.pool_misses.add(misses - pool_before.1);
         }
 
+        let outcomes = tracked
+            .iter()
+            .map(|t| match t.status {
+                Status::Decoded => DecodeOutcome::Decoded {
+                    start: t.det.start,
+                    pass: t.pass,
+                },
+                _ => DecodeOutcome::Degraded {
+                    start: t.det.start,
+                    reason: match t.failure {
+                        Failure::Header => DegradeReason::Header,
+                        Failure::Payload if t.bec_budget_hit => DegradeReason::PayloadBudget,
+                        Failure::Payload => DegradeReason::Payload,
+                        // `Failure::None` only while still active; anything
+                        // not decoded by the end is off-trace.
+                        Failure::Truncated | Failure::None => DegradeReason::Truncated,
+                    },
+                },
+            })
+            .collect();
         let report = DecodeReport {
             detected: tracked.len(),
             decoded: tracked
@@ -376,14 +484,17 @@ impl TnbReceiver {
                 .iter()
                 .filter(|t| t.failure == Failure::Truncated && t.status == Status::Failed)
                 .count(),
+            outcomes,
             stages: counters,
         };
         let decoded = tracked
             .into_iter()
             .filter(|t| t.status == Status::Decoded)
-            .map(|t| {
-                let (header, _) = t.header.expect("decoded packets have headers");
-                DecodedPacket {
+            .filter_map(|t| {
+                // Decoded packets always carry a header; filter instead of
+                // unwrapping so a broken invariant degrades, not panics.
+                let (header, _) = t.header?;
+                Some(DecodedPacket {
                     payload: t.decoded_payload.clone(),
                     header,
                     start: t.det.start,
@@ -391,7 +502,7 @@ impl TnbReceiver {
                     snr_db: t.snr_db,
                     rescued_codewords: t.rescued,
                     pass: t.pass,
-                }
+                })
             })
             .collect();
         (decoded, report)
@@ -510,6 +621,7 @@ impl TnbReceiver {
         counters.thrive_peaks_considered += tally.peaks_considered;
         counters.thrive_assignments += tally.assignments;
         counters.thrive_fallbacks += tally.fallbacks;
+        counters.thrive_budget_exhausted += tally.budget_exhausted;
 
         // Anything still active did not complete (e.g. ran off the trace).
         for tr in tracked.iter_mut() {
@@ -650,22 +762,36 @@ impl TnbReceiver {
         if tr.values[..n_symbols].iter().any(Option::is_none) {
             return;
         }
-        let symbols: Vec<u16> = tr.values[..n_symbols].iter().map(|v| v.unwrap()).collect();
-        let (header, extras) = tr.header.clone().expect("header before payload");
-        let payload_syms = &symbols[LoRaParams::HEADER_SYMBOLS..];
+        // All values checked Some above; filter_map keeps this total.
+        let symbols: Vec<u16> = tr.values[..n_symbols].iter().filter_map(|v| *v).collect();
+        let Some((header, extras)) = tr.header.clone() else {
+            // A complete symbol set without a header cannot happen (the
+            // header decode gates `n_symbols`); degrade rather than panic.
+            tr.failure = Failure::Header;
+            tr.status = Status::Failed;
+            return;
+        };
+        let payload_syms = &symbols[LoRaParams::HEADER_SYMBOLS.min(symbols.len())..];
         counters.bec_calls += 1;
         let t0 = metrics.now();
         let result = if self.cfg.use_bec {
-            let (result, stats) =
-                match bec::decode_payload_with_bec(payload_syms, &header, &extras, &self.params) {
-                    Ok(d) => {
-                        let stats = d.stats.clone();
-                        (Some((d.payload, d.stats.rescued_codewords)), stats)
-                    }
-                    Err(stats) => (None, stats),
-                };
+            let (result, stats) = match bec::decode_payload_with_bec_budgeted(
+                payload_syms,
+                &header,
+                &extras,
+                &self.params,
+                Some(self.cfg.bec_candidate_budget),
+            ) {
+                Ok(d) => {
+                    let stats = d.stats.clone();
+                    (Some((d.payload, d.stats.rescued_codewords)), stats)
+                }
+                Err(stats) => (None, stats),
+            };
             counters.bec_candidates += stats.candidates_generated as u64;
             counters.crc_checks += stats.crc_checks as u64;
+            counters.bec_budget_exhausted += stats.budget_exhausted as u64;
+            tr.bec_budget_hit |= stats.budget_exhausted;
             metrics.record_bec_candidates(stats.candidates_generated as u64);
             result
         } else {

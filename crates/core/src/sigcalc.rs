@@ -64,7 +64,7 @@ impl<'a> SigCalc<'a> {
         scratch: &'a mut DspScratch,
         metrics: Option<&'a PipelineMetrics>,
     ) -> Self {
-        assert!(!antennas.is_empty(), "at least one antenna required");
+        // Zero antennas is tolerated: every vector request returns `None`.
         SigCalc {
             demod,
             antennas,
@@ -117,7 +117,7 @@ impl<'a> SigCalc<'a> {
             }
             self.cache.insert(key, v);
         }
-        self.cache.get(&key).unwrap().as_ref()
+        self.cache.get(&key).and_then(Option::as_ref)
     }
 
     fn compute(&mut self, pkt: &DetectedPacket, j: isize) -> Option<Vec<f32>> {

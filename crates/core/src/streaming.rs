@@ -7,7 +7,8 @@
 //! decoded whole in the next round.
 
 use crate::packet::{same_transmission, DecodedPacket};
-use crate::receiver::{DecodeReport, TnbConfig, TnbReceiver};
+use crate::parallel::ParallelReceiver;
+use crate::receiver::{DecodeReport, TnbConfig};
 use tnb_dsp::Complex32;
 use tnb_metrics::{MetricsSnapshot, PipelineMetrics};
 use tnb_phy::params::LoRaParams;
@@ -29,6 +30,11 @@ pub struct StreamingConfig {
     /// [`StreamingReceiver::metrics_snapshot`]. Off by default: the
     /// disabled path never reads the clock.
     pub observe: bool,
+    /// Worker threads for the underlying batch decodes. The default (1)
+    /// decodes inline; any value keeps per-overlap-cluster fault
+    /// isolation, so one poisoned cluster degrades alone instead of
+    /// stalling the stream.
+    pub workers: usize,
 }
 
 impl Default for StreamingConfig {
@@ -38,6 +44,7 @@ impl Default for StreamingConfig {
             max_payload: 64,
             window_factor: 4,
             observe: false,
+            workers: 1,
         }
     }
 }
@@ -47,7 +54,7 @@ impl Default for StreamingConfig {
 /// Packet `start` fields are *absolute* sample indices in the stream (not
 /// window-relative).
 pub struct StreamingReceiver {
-    rx: TnbReceiver,
+    rx: ParallelReceiver,
     cfg: StreamingConfig,
     /// Samples of one maximal packet, used for overlap sizing.
     max_packet_samples: usize,
@@ -73,8 +80,13 @@ impl StreamingReceiver {
     /// Creates a streaming receiver with a custom configuration.
     pub fn with_config(params: LoRaParams, cfg: StreamingConfig) -> Self {
         let max_packet_samples = Transmitter::new(params).packet_samples(cfg.max_payload);
+        // The parallel receiver is the batch engine even at one worker:
+        // it decodes per overlap cluster (byte-identical to the serial
+        // path) and guards each cluster with a panic backstop.
+        let rx = ParallelReceiver::with_config(params, cfg.receiver, cfg.workers)
+            .with_max_payload_len(cfg.max_payload.max(1));
         StreamingReceiver {
-            rx: TnbReceiver::with_config(params, cfg.receiver),
+            rx,
             cfg,
             max_packet_samples,
             buffer: Vec::new(),
@@ -95,7 +107,7 @@ impl StreamingReceiver {
     /// detected) can count a transmission more than once; emitted-packet
     /// deduplication happens downstream of this report.
     pub fn report(&self) -> DecodeReport {
-        self.report
+        self.report.clone()
     }
 
     /// Snapshot of the cumulative pipeline metrics (all zeros unless

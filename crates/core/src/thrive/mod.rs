@@ -36,6 +36,14 @@ pub struct ThriveConfig {
     pub mask_tolerance: i64,
     /// Disable the history cost (the paper's "Sibling" ablation).
     pub use_history: bool,
+    /// Budget on sibling-cost evaluations per checking point (candidates
+    /// × other slots). A hostile trace can pile dozens of phantom
+    /// detections onto one checkpoint, making the cost matrix quadratic
+    /// in trash; over budget, each slot's candidate list is trimmed to
+    /// its tallest peaks and the event is tallied as `budget_exhausted`.
+    /// The default is far above anything real collisions produce, so
+    /// clean traces are bit-identical with or without the cap.
+    pub checkpoint_eval_budget: u64,
 }
 
 impl Default for ThriveConfig {
@@ -46,6 +54,7 @@ impl Default for ThriveConfig {
             history_window: 7,
             mask_tolerance: 1,
             use_history: true,
+            checkpoint_eval_budget: 1_000_000,
         }
     }
 }
@@ -194,6 +203,9 @@ pub struct ThriveTally {
     pub assignments: u64,
     /// Assignments that fell back to the strongest unmasked bin.
     pub fallbacks: u64,
+    /// Checking points whose candidate lists were trimmed because the
+    /// sibling-cost evaluation budget ran out.
+    pub budget_exhausted: u64,
 }
 
 /// Reusable working storage for [`assign_checkpoint_scratch`]: per-slot
@@ -312,6 +324,25 @@ pub fn assign_checkpoint_scratch(
         );
     }
     ws.tally.peaks_considered += ws.cands[..m].iter().map(|c| c.len() as u64).sum::<u64>();
+
+    // Iteration budget: the cost matrix below costs roughly
+    // |candidates| × (m − 1) sibling lookups. When a checkpoint would
+    // blow past the budget (only adversarial input does), keep each
+    // slot's tallest peaks so the work is bounded and the assignment
+    // still favours plausible candidates.
+    let total_cands: u64 = ws.cands[..m].iter().map(|c| c.len() as u64).sum();
+    let evals = total_cands * (m as u64).saturating_sub(1).max(1);
+    if evals > cfg.checkpoint_eval_budget {
+        ws.tally.budget_exhausted += 1;
+        let keep = (cfg.checkpoint_eval_budget / (m as u64 * m as u64).max(1)).max(1) as usize;
+        for cands in ws.cands[..m].iter_mut() {
+            if cands.len() > keep {
+                cands.sort_by(|a, b| b.height.total_cmp(&a.height).then(a.bin.cmp(&b.bin)));
+                cands.truncate(keep);
+                cands.sort_by_key(|c| c.bin);
+            }
+        }
+    }
 
     // Matching cost = sibling cost + history cost (paper §5.3.3). The
     // tallest sibling H* is read from the signal vectors of every other
@@ -456,12 +487,13 @@ fn fallback_bin(v: &[f32], masks: &[i64], dynamic: &[i64], tol: i64) -> (i64, f3
         }
     }
     best.unwrap_or_else(|| {
-        let (i, &h) = v
-            .iter()
+        // Everything masked: take the raw argmax; bin 0 with zero height
+        // stands in for a (never-produced) empty vector.
+        v.iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("non-empty vector");
-        (i as i64, h)
+            .map(|(i, &h)| (i as i64, h))
+            .unwrap_or((0, 0.0))
     })
 }
 

@@ -54,6 +54,32 @@ pub fn find_peaks(x: &[f32], cfg: &PeakFinderConfig) -> Vec<Peak> {
         return Vec::new();
     }
 
+    // NaN/Inf bins (hostile or broken front-end input) must neither win
+    // peak selection nor poison the selectivity estimate. The all-finite
+    // fast path leaves clean traces bit-identical; otherwise non-finite
+    // bins are floored to the finite minimum, so they can never stand
+    // out from their neighbourhood.
+    if x.iter().any(|v| !v.is_finite()) {
+        let lo = x
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(f32::INFINITY, f32::min);
+        if !lo.is_finite() {
+            return Vec::new(); // nothing finite: no meaningful peaks
+        }
+        let sanitized: Vec<f32> = x
+            .iter()
+            .map(|&v| if v.is_finite() { v } else { lo })
+            .collect();
+        let mut peaks = find_peaks(&sanitized, cfg);
+        // A sanitized bin can only be reported if the whole vector is
+        // flat; drop anything whose reported height is the floor stand-in
+        // for a bad bin.
+        peaks.retain(|p| x[p.index].is_finite());
+        return peaks;
+    }
+
     let (lo, hi) = min_max(x);
     let sel = cfg.sel.unwrap_or((hi - lo) / 4.0);
 
@@ -366,6 +392,64 @@ mod tests {
         let p = find_peaks(&x, &cfg());
         assert_eq!(p.len(), 1);
         assert_eq!(p[0].index, 1);
+    }
+
+    #[test]
+    fn nan_and_inf_bins_never_win() {
+        // A NaN next to a genuine peak, +Inf in the flank, -Inf in the
+        // valley: only the real peaks may be reported.
+        let x = [
+            0.0,
+            5.0,
+            0.0,
+            f32::NAN,
+            0.0,
+            f32::INFINITY,
+            0.0,
+            7.0,
+            f32::NEG_INFINITY,
+            0.0,
+        ];
+        for circular in [false, true] {
+            let p = find_peaks(
+                &x,
+                &PeakFinderConfig {
+                    sel: Some(1.0),
+                    circular,
+                    ..cfg()
+                },
+            );
+            assert!(!p.is_empty(), "circular={circular}");
+            for pk in &p {
+                assert!(pk.height.is_finite(), "{pk:?}");
+                assert!(x[pk.index].is_finite(), "{pk:?}");
+            }
+            assert!(p.iter().any(|pk| pk.index == 1));
+            assert!(p.iter().any(|pk| pk.index == 7));
+        }
+    }
+
+    #[test]
+    fn all_nonfinite_input_yields_no_peaks() {
+        let x = [f32::NAN; 8];
+        assert!(find_peaks(&x, &cfg()).is_empty());
+        let x = [f32::INFINITY; 8];
+        assert!(find_peaks(&x, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn finite_input_unaffected_by_sanitizer() {
+        // The sanitizer's fast path: results on clean input are the same
+        // object-for-object as before the hardening (spot check).
+        let x = [0.0, 3.0, 0.0, 9.0, 0.0, 6.0, 0.0];
+        let p = find_peaks(
+            &x,
+            &PeakFinderConfig {
+                sel: Some(1.0),
+                ..cfg()
+            },
+        );
+        assert_eq!(p.len(), 3);
     }
 
     #[test]

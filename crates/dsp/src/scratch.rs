@@ -45,7 +45,8 @@ impl FftPlanCache {
             return &self.plans[i];
         }
         self.plans.push(FftPlan::new(size));
-        self.plans.last().expect("just pushed")
+        let last = self.plans.len() - 1;
+        &self.plans[last]
     }
 
     /// Number of distinct sizes planned so far.

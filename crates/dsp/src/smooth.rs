@@ -24,8 +24,10 @@ pub fn moving_mean(data: &[f32], window: usize) -> Vec<f32> {
     // Prefix sums in f64 so long histories do not lose precision.
     let mut prefix = Vec::with_capacity(n + 1);
     prefix.push(0.0f64);
+    let mut running = 0.0f64;
     for &v in data {
-        prefix.push(prefix.last().unwrap() + v as f64);
+        running += v as f64;
+        prefix.push(running);
     }
     for i in 0..n {
         let lo = i.saturating_sub(half_left);

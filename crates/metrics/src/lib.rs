@@ -289,6 +289,9 @@ pub struct StageCounters {
     pub thrive_assignments: u64,
     /// Assignments that fell back to the strongest unmasked bin.
     pub thrive_fallbacks: u64,
+    /// Checking points whose candidate lists were trimmed by the
+    /// sibling-cost evaluation budget.
+    pub thrive_budget_exhausted: u64,
     /// Header/payload block-decode invocations (BEC or default decoder).
     pub bec_calls: u64,
     /// Repair candidates generated by BEC across those calls.
@@ -299,6 +302,8 @@ pub struct StageCounters {
     pub crc_pass: u64,
     /// Payload decodes whose CRC never passed.
     pub crc_fail: u64,
+    /// Payload decodes that hit the per-packet BEC candidate budget.
+    pub bec_budget_exhausted: u64,
 }
 
 impl StageCounters {
@@ -314,11 +319,13 @@ impl StageCounters {
         self.thrive_peaks_considered += other.thrive_peaks_considered;
         self.thrive_assignments += other.thrive_assignments;
         self.thrive_fallbacks += other.thrive_fallbacks;
+        self.thrive_budget_exhausted += other.thrive_budget_exhausted;
         self.bec_calls += other.bec_calls;
         self.bec_candidates += other.bec_candidates;
         self.crc_checks += other.crc_checks;
         self.crc_pass += other.crc_pass;
         self.crc_fail += other.crc_fail;
+        self.bec_budget_exhausted += other.bec_budget_exhausted;
     }
 
     /// The counters belonging to `stage`, as (name, value) pairs — the
@@ -340,6 +347,7 @@ impl StageCounters {
                 ("peaks_considered", self.thrive_peaks_considered),
                 ("assignments", self.thrive_assignments),
                 ("fallbacks", self.thrive_fallbacks),
+                ("budget_exhausted", self.thrive_budget_exhausted),
             ],
             Stage::Bec => vec![
                 ("calls", self.bec_calls),
@@ -347,6 +355,7 @@ impl StageCounters {
                 ("crc_checks", self.crc_checks),
                 ("crc_pass", self.crc_pass),
                 ("crc_fail", self.crc_fail),
+                ("budget_exhausted", self.bec_budget_exhausted),
             ],
         }
     }
@@ -656,9 +665,9 @@ mod tests {
         assert_eq!(a.detect_windows, 15);
         assert_eq!(a.crc_fail, 2);
         // Every stage exposes at least one named counter, and every field
-        // belongs to exactly one stage (3+2+1+4+5 = 15 fields).
+        // belongs to exactly one stage (3+2+1+5+6 = 17 fields).
         let total: usize = Stage::ALL.iter().map(|s| a.stage_fields(*s).len()).sum();
-        assert_eq!(total, 15);
+        assert_eq!(total, 17);
     }
 
     #[test]

@@ -229,7 +229,7 @@ impl Demodulator {
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("signal vector is non-empty");
+            .unwrap_or((0, &0.0));
         (idx as u16, h)
     }
 }

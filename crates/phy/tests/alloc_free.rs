@@ -47,18 +47,26 @@ fn warm_scratch_symbol_path_makes_zero_allocations() {
     demod.signal_vector_scratch(&window, 0.0, &mut scratch);
     demod.signal_vector_down_scratch(&window, -0.5, &mut scratch);
 
-    let before = ALLOCS.load(Ordering::Relaxed);
-    for i in 0..256u32 {
-        let cfo = f64::from(i % 7) * 0.25 - 0.75;
-        demod.signal_vector_scratch(&window, cfo, &mut scratch);
-        demod.signal_vector_down_scratch(&window, cfo, &mut scratch);
-    }
-    let after = ALLOCS.load(Ordering::Relaxed);
+    // The counter is process-global, so runtime machinery (test-harness
+    // threads, lazy stdio buffers) can allocate concurrently with the
+    // measurement window. A genuine per-symbol allocation would show up
+    // in every trial; transient noise does not — so assert on the
+    // minimum over a few trials instead of a single racy window.
+    let min_allocs = (0..5)
+        .map(|_| {
+            let before = ALLOCS.load(Ordering::Relaxed);
+            for i in 0..256u32 {
+                let cfo = f64::from(i % 7) * 0.25 - 0.75;
+                demod.signal_vector_scratch(&window, cfo, &mut scratch);
+                demod.signal_vector_down_scratch(&window, cfo, &mut scratch);
+            }
+            ALLOCS.load(Ordering::Relaxed) - before
+        })
+        .min()
+        .unwrap_or(usize::MAX);
     assert_eq!(
-        after - before,
-        0,
-        "steady-state symbol DSP allocated {} times over 512 symbols",
-        after - before
+        min_allocs, 0,
+        "steady-state symbol DSP allocated {min_allocs} times over 512 symbols in every trial"
     );
     // Sanity: the warm-up really did cache exactly one plan size.
     assert_eq!(scratch.plans.len(), 1);

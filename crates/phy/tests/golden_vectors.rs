@@ -154,7 +154,11 @@ fn payload_block_roundtrip_frozen_per_coding_rate() {
 /// The diagonal interleaver itself, frozen for an 8-row CR4 block.
 #[test]
 fn interleaver_frozen() {
-    let rows: Vec<u8> = (0..8u8).map(|i| i * 37 + 11).collect();
+    // Wrapping arithmetic: i = 7 exceeds u8 range (7·37 + 11 = 270), and
+    // the frozen vector below was produced with the wrapped value.
+    let rows: Vec<u8> = (0..8u8)
+        .map(|i| i.wrapping_mul(37).wrapping_add(11))
+        .collect();
     assert_eq!(
         tnb_phy::interleaver::interleave(&rows, 8),
         vec![85, 204, 45, 59, 225, 82, 177, 224]

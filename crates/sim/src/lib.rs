@@ -13,6 +13,6 @@ pub mod traffic;
 
 pub use deployment::Deployment;
 pub use runner::{
-    build_experiment, run_scheme, run_scheme_limited, run_scheme_observed, run_scheme_with_workers,
-    BuiltExperiment, ExperimentConfig, ExperimentResult,
+    apply_faults, build_experiment, run_scheme, run_scheme_limited, run_scheme_observed,
+    run_scheme_with_workers, BuiltExperiment, ExperimentConfig, ExperimentResult,
 };
