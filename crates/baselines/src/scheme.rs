@@ -199,6 +199,8 @@ pub trait SymbolAssigner {
     /// data symbol `j` of packet `pkt`, or `None` if the window is
     /// unavailable. `extents[q] = (data_start, end_sample)` describes when
     /// each detected packet transmits data (used to find interferers).
+    // The assigner sees the full multi-packet picture by design; bundling
+    // the arguments would just move the width into a one-off struct.
     #[allow(clippy::too_many_arguments)]
     fn assign(
         &self,

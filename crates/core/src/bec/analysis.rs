@@ -14,7 +14,7 @@ use tnb_phy::params::CodingRate;
 ///
 /// Ψ₁ = (1/8)^SF; Ψ_x = (x/8)^SF − Σ_{y<x} C(x,y)·Ψ_y.
 pub fn psi(x: usize, sf: usize) -> f64 {
-    assert!((1..=8).contains(&x));
+    assert!((1..=8).contains(&x)); // tnb-lint: allow(TNB-PANIC02) -- analysis-only helper; x outside 1..=8 is a caller bug in closed-form math, not decode input
     let mut table = vec![0.0f64; x + 1];
     for xx in 1..=x {
         let mut v = (xx as f64 / 8.0).powi(sf as i32);

@@ -147,6 +147,23 @@ impl DecodeReport {
         self.truncated += other.truncated;
         self.outcomes.extend_from_slice(&other.outcomes);
         self.stages.absorb(&other.stages);
+        debug_assert!(
+            self.accounting_ok(),
+            "DecodeReport accounting broke during merge: detected={} decoded={} degraded={}",
+            self.detected,
+            self.decoded,
+            self.degraded()
+        );
+    }
+
+    /// True when the per-packet accounting balances: every detected
+    /// packet carries exactly one outcome, and the decoded/degraded
+    /// split covers all of them. Checked via `debug_assert!` at the end
+    /// of every decode and at every merge point, so a bookkeeping bug in
+    /// a new code path fails loudly in debug/test builds while release
+    /// builds stay panic-free.
+    pub fn accounting_ok(&self) -> bool {
+        self.outcomes.len() == self.detected && self.decoded + self.degraded() == self.detected
     }
 
     /// Degraded outcomes carrying the given reason.
@@ -487,6 +504,13 @@ impl TnbReceiver {
             outcomes,
             stages: counters,
         };
+        debug_assert!(
+            report.accounting_ok(),
+            "DecodeReport accounting broke: detected={} decoded={} degraded={}",
+            report.detected,
+            report.decoded,
+            report.degraded()
+        );
         let decoded = tracked
             .into_iter()
             .filter(|t| t.status == Status::Decoded)

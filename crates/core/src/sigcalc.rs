@@ -6,7 +6,7 @@
 //! antennas the per-antenna signal vectors are summed (paper §3).
 
 use crate::packet::DetectedPacket;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tnb_dsp::{Complex32, DspScratch};
 use tnb_metrics::{PipelineMetrics, Stage};
 use tnb_phy::demodulate::Demodulator;
@@ -23,8 +23,11 @@ pub struct SigCalc<'a> {
     demod: &'a Demodulator,
     antennas: &'a [&'a [Complex32]],
     scratch: &'a mut DspScratch,
-    /// Cache keyed by (packet id, data-symbol index).
-    cache: HashMap<(usize, isize), Option<Vec<f32>>>,
+    /// Cache keyed by (packet id, data-symbol index). A `BTreeMap` so
+    /// iteration (the `Drop` recycling pass) is key-ordered — a
+    /// `HashMap`'s randomized drain order would return buffers to the
+    /// scratch pool in a run-dependent order.
+    cache: BTreeMap<(usize, isize), Option<Vec<f32>>>,
     /// Optional observability sink (wall time of vector computation and
     /// matching-cost samples recorded by Thrive through [`Self::metrics`]).
     metrics: Option<&'a PipelineMetrics>,
@@ -35,10 +38,8 @@ pub struct SigCalc<'a> {
 
 impl Drop for SigCalc<'_> {
     fn drop(&mut self) {
-        for (_, v) in self.cache.drain() {
-            if let Some(v) = v {
-                self.scratch.recycle_f32(v);
-            }
+        for v in std::mem::take(&mut self.cache).into_values().flatten() {
+            self.scratch.recycle_f32(v);
         }
     }
 }
@@ -69,7 +70,7 @@ impl<'a> SigCalc<'a> {
             demod,
             antennas,
             scratch,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             metrics,
             computed: 0,
         }
@@ -101,6 +102,7 @@ impl<'a> SigCalc<'a> {
     /// Signal vector of data symbol `j` of `pkt` (id `pkt_id`), summed
     /// over antennas; `None` when the window runs off the trace. Results
     /// are cached.
+    // tnb-lint: no_alloc -- steady-state symbol path: cache hits are free, misses draw from the scratch pool
     pub fn symbol_vector(
         &mut self,
         pkt_id: usize,
@@ -120,6 +122,7 @@ impl<'a> SigCalc<'a> {
         self.cache.get(&key).and_then(Option::as_ref)
     }
 
+    // tnb-lint: no_alloc
     fn compute(&mut self, pkt: &DetectedPacket, j: isize) -> Option<Vec<f32>> {
         let l = self.params().samples_per_symbol();
         let start = self.symbol_start(pkt, j);
@@ -129,14 +132,16 @@ impl<'a> SigCalc<'a> {
         let start = start as usize;
         let mut sum: Option<Vec<f32>> = None;
         for ant in self.antennas {
-            if start + l > ant.len() {
+            let Some(window) = ant.get(start..start + l) else {
+                // Window runs off the trace: hand any partial sum back to
+                // the pool and report the vector unavailable.
                 if let Some(v) = sum.take() {
                     self.scratch.recycle_f32(v);
                 }
                 return None;
-            }
+            };
             self.demod
-                .signal_vector_scratch(&ant[start..start + l], pkt.cfo_cycles, self.scratch);
+                .signal_vector_scratch(window, pkt.cfo_cycles, self.scratch);
             match sum.as_mut() {
                 None => {
                     let mut v = self.scratch.take_f32(0);

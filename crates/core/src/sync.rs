@@ -68,6 +68,7 @@ pub fn fractional_sync(
 /// [`fractional_sync_scratch`] with observability: counts the attempt and
 /// its acceptance in `counters` and times the whole 36-point search under
 /// [`Stage::Sync`].
+// Observed variant threads scratch + two observability sinks on top of the five search inputs.
 #[allow(clippy::too_many_arguments)]
 pub fn fractional_sync_observed(
     samples: &[Complex32],
@@ -92,6 +93,7 @@ pub fn fractional_sync_observed(
 /// [`fractional_sync`] with a caller-owned [`DspScratch`], so the 36-point
 /// search performs no per-evaluation allocations. Results are bit-identical
 /// to the allocating path.
+// tnb-lint: no_alloc -- the 36-point (δt, δf) search runs per detected packet; every buffer lives in the scratch
 pub fn fractional_sync_scratch(
     samples: &[Complex32],
     demod: &Demodulator,
@@ -173,6 +175,7 @@ pub fn fractional_sync_scratch(
 /// `(δt, δf)`: sums the complex spectra of the 8 upchirp windows and the 2
 /// full downchirp windows, CFO-corrected by `cfo` bins, with the windows
 /// shifted by `dt_chips` chips.
+// tnb-lint: no_alloc
 fn evaluate_q(
     samples: &[Complex32],
     demod: &Demodulator,
@@ -188,11 +191,11 @@ fn evaluate_q(
 
     let window = |off: i64| -> Option<&[Complex32]> {
         let s = base + off;
-        if s < 0 || (s + l) as usize > samples.len() {
-            None
-        } else {
-            Some(&samples[s as usize..(s + l) as usize])
+        if s < 0 {
+            return None;
         }
+        // `get` degrades to None when the window runs off the trace.
+        samples.get(s as usize..(s + l) as usize)
     };
 
     // Summed upchirp spectra, accumulated in `scratch.cacc_a`. The

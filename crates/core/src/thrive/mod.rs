@@ -257,6 +257,7 @@ pub fn assign_checkpoint(
 /// [`assign_checkpoint`] with reusable working storage: assignments are
 /// written to `out` (cleared first), and all intermediates live in `ws`.
 /// Produces exactly the assignments of the allocating path.
+// tnb-lint: no_alloc -- per-checkpoint assignment runs in the symbol loop; intermediates live in CheckpointScratch
 pub fn assign_checkpoint_scratch(
     sigcalc: &mut SigCalc<'_>,
     packets: &[DetectedPacket],
@@ -275,9 +276,9 @@ pub fn assign_checkpoint_scratch(
     ws.tally.checkpoints += 1;
 
     while ws.vectors.len() < m {
-        ws.vectors.push(Vec::new());
-        ws.cands.push(Vec::new());
-        ws.dynamic.push(Vec::new());
+        ws.vectors.push(Vec::new()); // tnb-lint: allow(TNB-ALLOC01) -- grow-only warm-up, reused across checkpoints
+        ws.cands.push(Vec::new()); // tnb-lint: allow(TNB-ALLOC01) -- grow-only warm-up, reused across checkpoints
+        ws.dynamic.push(Vec::new()); // tnb-lint: allow(TNB-ALLOC01) -- grow-only warm-up, reused across checkpoints
     }
     for k in 0..m {
         ws.vectors[k].clear();
@@ -323,19 +324,19 @@ pub fn assign_checkpoint_scratch(
                 }),
         );
     }
-    ws.tally.peaks_considered += ws.cands[..m].iter().map(|c| c.len() as u64).sum::<u64>();
+    ws.tally.peaks_considered += ws.cands.iter().take(m).map(|c| c.len() as u64).sum::<u64>();
 
     // Iteration budget: the cost matrix below costs roughly
     // |candidates| × (m − 1) sibling lookups. When a checkpoint would
     // blow past the budget (only adversarial input does), keep each
     // slot's tallest peaks so the work is bounded and the assignment
     // still favours plausible candidates.
-    let total_cands: u64 = ws.cands[..m].iter().map(|c| c.len() as u64).sum();
+    let total_cands: u64 = ws.cands.iter().take(m).map(|c| c.len() as u64).sum();
     let evals = total_cands * (m as u64).saturating_sub(1).max(1);
     if evals > cfg.checkpoint_eval_budget {
         ws.tally.budget_exhausted += 1;
         let keep = (cfg.checkpoint_eval_budget / (m as u64 * m as u64).max(1)).max(1) as usize;
-        for cands in ws.cands[..m].iter_mut() {
+        for cands in ws.cands.iter_mut().take(m) {
             if cands.len() > keep {
                 cands.sort_by(|a, b| b.height.total_cmp(&a.height).then(a.bin.cmp(&b.bin)));
                 cands.truncate(keep);
@@ -470,6 +471,7 @@ pub fn assign_checkpoint_scratch(
 
 /// Strongest bin not within `tol` of any masked location; falls back to
 /// the raw argmax if everything is masked.
+// tnb-lint: no_alloc
 fn fallback_bin(v: &[f32], masks: &[i64], dynamic: &[i64], tol: i64) -> (i64, f32) {
     let n = v.len() as i64;
     let mut best: Option<(i64, f32)> = None;

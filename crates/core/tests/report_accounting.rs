@@ -1,0 +1,105 @@
+//! Regression tests for the [`DecodeReport`] accounting invariant:
+//! `detected == decoded + degraded()` with exactly one outcome per
+//! detected packet, across clean decodes, degraded decodes, and merges.
+
+use tnb_channel::trace::{PacketConfig, TraceBuilder};
+use tnb_core::{DecodeReport, TnbReceiver};
+use tnb_phy::{CodingRate, LoRaParams, SpreadingFactor};
+
+fn params() -> LoRaParams {
+    LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4)
+}
+
+#[test]
+fn accounting_balances_for_mixed_outcomes() {
+    let p = params();
+    let l = p.samples_per_symbol();
+    let mut b = TraceBuilder::new(p, 33).without_noise();
+    b.add_packet(
+        &[0x11; 16],
+        PacketConfig {
+            start_sample: 2_000,
+            snr_db: 10.0,
+            ..Default::default()
+        },
+    );
+    b.add_packet(
+        &[0x22; 16],
+        PacketConfig {
+            start_sample: 2_000 + 9 * l + 300,
+            snr_db: 8.0,
+            cfo_hz: 1200.0,
+            ..Default::default()
+        },
+    );
+    // A third packet that runs off the end of the trace degrades as
+    // truncated, so the report mixes decoded and degraded outcomes.
+    b.add_packet(
+        &[0x33; 16],
+        PacketConfig {
+            start_sample: 2_000 + 30 * l,
+            snr_db: 10.0,
+            ..Default::default()
+        },
+    );
+    let t = b.build();
+    let cut = &t.samples()[..2_000 + 30 * l + p.preamble_samples() + 10 * l];
+    let rx = TnbReceiver::new(p);
+    let (decoded, report) = rx.decode_with_report(cut);
+    assert!(report.detected >= 2, "{report:?}");
+    assert!(report.accounting_ok(), "{report:?}");
+    assert_eq!(report.outcomes.len(), report.detected);
+    assert_eq!(report.decoded, decoded.len());
+    assert_eq!(report.decoded + report.degraded(), report.detected);
+}
+
+#[test]
+fn accounting_balances_on_empty_and_clean_traces() {
+    let p = params();
+    let rx = TnbReceiver::new(p);
+
+    let quiet = vec![tnb_dsp::Complex32::ZERO; 40_000];
+    let (_, report) = rx.decode_with_report(&quiet);
+    assert_eq!(report.detected, 0);
+    assert!(report.accounting_ok(), "{report:?}");
+
+    let mut b = TraceBuilder::new(p, 7).without_noise();
+    b.add_packet(
+        &[0xA5; 12],
+        PacketConfig {
+            start_sample: 5_000,
+            snr_db: 0.0,
+            ..Default::default()
+        },
+    );
+    let t = b.build();
+    let (decoded, report) = rx.decode_with_report(t.samples());
+    assert_eq!(decoded.len(), 1);
+    assert!(report.accounting_ok(), "{report:?}");
+}
+
+#[test]
+fn absorb_preserves_accounting() {
+    let p = params();
+    let rx = TnbReceiver::new(p);
+    let mut total = DecodeReport::default();
+    assert!(total.accounting_ok());
+    for (payload, start) in [(0x0Fu8, 3_000usize), (0xF0, 9_000)] {
+        let mut b = TraceBuilder::new(p, 11).without_noise();
+        b.add_packet(
+            &[payload; 16],
+            PacketConfig {
+                start_sample: start,
+                snr_db: 0.0,
+                ..Default::default()
+            },
+        );
+        let t = b.build();
+        let (_, report) = rx.decode_with_report(t.samples());
+        assert!(report.accounting_ok(), "{report:?}");
+        total.absorb(&report);
+    }
+    assert_eq!(total.detected, 2);
+    assert_eq!(total.outcomes.len(), 2);
+    assert!(total.accounting_ok(), "{total:?}");
+}

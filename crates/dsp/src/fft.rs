@@ -29,6 +29,7 @@ impl FftPlan {
     /// # Panics
     /// Panics if `size` is zero or not a power of two.
     pub fn new(size: usize) -> Self {
+        // tnb-lint: allow(TNB-PANIC02) -- documented `# Panics` plan-construction precondition; FFT sizes are configuration constants, not decode input
         assert!(
             size.is_power_of_two() && size > 0,
             "FFT size must be a nonzero power of two, got {size}"
@@ -62,7 +63,7 @@ impl FftPlan {
     /// # Panics
     /// Panics if `buf.len() != self.size()`.
     pub fn forward(&self, buf: &mut [Complex32]) {
-        assert_eq!(buf.len(), self.size, "buffer length must match plan size");
+        assert_eq!(buf.len(), self.size, "buffer length must match plan size"); // tnb-lint: allow(TNB-PANIC02) -- documented `# Panics` precondition: a mis-sized buffer is a caller bug
         self.permute(buf);
         self.butterflies(buf, false);
     }
@@ -73,7 +74,7 @@ impl FftPlan {
     /// # Panics
     /// Panics if `buf.len() != self.size()`.
     pub fn inverse(&self, buf: &mut [Complex32]) {
-        assert_eq!(buf.len(), self.size, "buffer length must match plan size");
+        assert_eq!(buf.len(), self.size, "buffer length must match plan size"); // tnb-lint: allow(TNB-PANIC02) -- documented `# Panics` precondition: a mis-sized buffer is a caller bug
         self.permute(buf);
         self.butterflies(buf, true);
         let k = 1.0 / self.size as f32;

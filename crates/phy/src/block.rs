@@ -15,7 +15,7 @@ use crate::params::{CodingRate, LoRaParams};
 /// Encodes up to `rows` nibbles into the symbol values of one block
 /// (padding missing nibbles with zero).
 fn encode_block(nibbles: &[u8], rows: usize, cr: CodingRate, sf: usize, reduced: bool) -> Vec<u16> {
-    assert!(nibbles.len() <= rows);
+    assert!(nibbles.len() <= rows); // tnb-lint: allow(TNB-PANIC02) -- internal encode helper; callers chunk nibbles to `rows` by construction
     let mut cw_rows = Vec::with_capacity(rows);
     for r in 0..rows {
         let nib = nibbles.get(r).copied().unwrap_or(0);
@@ -44,7 +44,7 @@ fn received_block(
     sf: usize,
     reduced: bool,
 ) -> Vec<u8> {
-    assert_eq!(symbols.len(), cr.codeword_len());
+    assert_eq!(symbols.len(), cr.codeword_len()); // tnb-lint: allow(TNB-PANIC02) -- internal decode helper; callers slice exactly one block of symbols
     let words: Vec<u16> = symbols
         .iter()
         .map(|&h| {

@@ -59,7 +59,7 @@ impl Demodulator {
     /// Panics if `window.len() != N·U`.
     pub fn complex_spectrum(&self, window: &[Complex32], cfo_cycles: f64) -> Vec<Complex32> {
         let l = self.params.samples_per_symbol();
-        assert_eq!(window.len(), l, "window must be one symbol long");
+        assert_eq!(window.len(), l, "window must be one symbol long"); // tnb-lint: allow(TNB-PANIC02) -- documented `# Panics` precondition: a wrong-length window is a caller bug, not hostile input
         let mut buf: Vec<Complex32> = Vec::with_capacity(l);
         if cfo_cycles == 0.0 {
             for (w, d) in window.iter().zip(self.chirps.downchirp()) {
@@ -110,7 +110,7 @@ impl Demodulator {
     /// offset sits on the received signal either way.
     pub fn complex_spectrum_down(&self, window: &[Complex32], cfo_cycles: f64) -> Vec<Complex32> {
         let l = self.params.samples_per_symbol();
-        assert_eq!(window.len(), l, "window must be one symbol long");
+        assert_eq!(window.len(), l, "window must be one symbol long"); // tnb-lint: allow(TNB-PANIC02) -- documented `# Panics` precondition: a wrong-length window is a caller bug, not hostile input
         let step = -2.0 * std::f64::consts::PI * cfo_cycles / l as f64;
         let mut buf: Vec<Complex32> = window
             .iter()
@@ -137,6 +137,7 @@ impl Demodulator {
     /// spectrum is left in `scratch.cbuf`.
     ///
     /// Produces bit-identical values to the allocating path.
+    // tnb-lint: no_alloc -- de-chirp + in-place FFT inside the warm scratch
     pub fn complex_spectrum_scratch(
         &self,
         window: &[Complex32],
@@ -144,7 +145,7 @@ impl Demodulator {
         scratch: &mut DspScratch,
     ) {
         let l = self.params.samples_per_symbol();
-        assert_eq!(window.len(), l, "window must be one symbol long");
+        assert_eq!(window.len(), l, "window must be one symbol long"); // tnb-lint: allow(TNB-PANIC02) -- documented `# Panics` precondition: a wrong-length window is a caller bug, not hostile input
         let DspScratch { plans, cbuf, .. } = scratch;
         cbuf.clear();
         if cfo_cycles == 0.0 {
@@ -163,6 +164,7 @@ impl Demodulator {
 
     /// Allocation-free [`Self::complex_spectrum_down`]: the upchirp-dechirped
     /// spectrum is left in `scratch.cbuf`.
+    // tnb-lint: no_alloc -- upchirp de-chirp + in-place FFT inside the warm scratch
     pub fn complex_spectrum_down_scratch(
         &self,
         window: &[Complex32],
@@ -170,7 +172,7 @@ impl Demodulator {
         scratch: &mut DspScratch,
     ) {
         let l = self.params.samples_per_symbol();
-        assert_eq!(window.len(), l, "window must be one symbol long");
+        assert_eq!(window.len(), l, "window must be one symbol long"); // tnb-lint: allow(TNB-PANIC02) -- documented `# Panics` precondition: a wrong-length window is a caller bug, not hostile input
         let step = -2.0 * std::f64::consts::PI * cfo_cycles / l as f64;
         let DspScratch { plans, cbuf, .. } = scratch;
         cbuf.clear();
@@ -183,6 +185,7 @@ impl Demodulator {
 
     /// [`Self::fold`] into a caller-owned buffer (cleared and refilled;
     /// capacity is reused across calls).
+    // tnb-lint: no_alloc -- fold into a caller-owned buffer, capacity reused
     pub fn fold_into(&self, spectrum: &[Complex32], out: &mut Vec<f32>) {
         let n = self.params.n();
         let l = self.params.samples_per_symbol();
@@ -197,6 +200,7 @@ impl Demodulator {
     /// Allocation-free [`Self::signal_vector`]: de-chirp, FFT and fold
     /// entirely inside `scratch`. The length-`N` signal vector is left in
     /// `scratch.fbuf` (and `scratch.cbuf` holds the complex spectrum).
+    // tnb-lint: no_alloc -- full symbol path: de-chirp, FFT, fold, all in scratch
     pub fn signal_vector_scratch(
         &self,
         window: &[Complex32],
@@ -210,6 +214,7 @@ impl Demodulator {
 
     /// Allocation-free [`Self::signal_vector_down`]: result in
     /// `scratch.fbuf`.
+    // tnb-lint: no_alloc -- downchirp symbol path, all in scratch
     pub fn signal_vector_down_scratch(
         &self,
         window: &[Complex32],

@@ -35,7 +35,7 @@ pub fn nibbles_to_bytes(nibbles: &[u8]) -> Vec<u8> {
 /// # Panics
 /// Panics if `payload.len() > 255`.
 pub fn encode_packet_symbols(payload: &[u8], params: &LoRaParams) -> Vec<u16> {
-    assert!(payload.len() <= 255, "LoRa payload is at most 255 bytes");
+    assert!(payload.len() <= 255, "LoRa payload is at most 255 bytes"); // tnb-lint: allow(TNB-PANIC02) -- documented `# Panics` precondition: violating it is a caller bug, not hostile input
     let protected = whiten(&append_crc16(payload));
     let data_nibbles = bytes_to_nibbles(&protected);
 

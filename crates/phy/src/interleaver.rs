@@ -20,7 +20,7 @@
 /// Panics if `rows` is empty or longer than 16 (words are `u16`).
 pub fn interleave(rows: &[u8], cw_len: usize) -> Vec<u16> {
     let nrows = rows.len();
-    assert!(nrows > 0 && nrows <= 16, "row count {nrows} out of range");
+    assert!(nrows > 0 && nrows <= 16, "row count {nrows} out of range"); // tnb-lint: allow(TNB-PANIC02) -- documented `# Panics` precondition: violating it is a caller bug, not hostile input
     let mut words = vec![0u16; cw_len];
     for (c, word) in words.iter_mut().enumerate() {
         for r in 0..nrows {
@@ -38,8 +38,8 @@ pub fn interleave(rows: &[u8], cw_len: usize) -> Vec<u16> {
 /// # Panics
 /// Panics if `words.len() != cw_len` or `nrows` is out of range.
 pub fn deinterleave(words: &[u16], nrows: usize, cw_len: usize) -> Vec<u8> {
-    assert_eq!(words.len(), cw_len, "expected {cw_len} symbol words");
-    assert!(nrows > 0 && nrows <= 16, "row count {nrows} out of range");
+    assert_eq!(words.len(), cw_len, "expected {cw_len} symbol words"); // tnb-lint: allow(TNB-PANIC02) -- documented `# Panics` precondition: violating it is a caller bug, not hostile input
+    assert!(nrows > 0 && nrows <= 16, "row count {nrows} out of range"); // tnb-lint: allow(TNB-PANIC02) -- documented `# Panics` precondition: violating it is a caller bug, not hostile input
     let mut rows = vec![0u8; nrows];
     for (c, &word) in words.iter().enumerate() {
         for r in 0..nrows {

@@ -17,14 +17,21 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: every method delegates to `System` after touching only an
+// atomic counter, so `System`'s allocator contract is preserved verbatim.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards the caller's layout to `System` unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
+    // SAFETY: `ptr`/`layout` came from this allocator, which always
+    // allocates via `System`, so handing them back to `System` is sound.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
+    // SAFETY: same provenance argument as `dealloc`; `System.realloc`
+    // upholds the `GlobalAlloc` contract for the forwarded arguments.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)

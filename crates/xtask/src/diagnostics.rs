@@ -1,0 +1,118 @@
+//! Diagnostic records and rendering (human text and machine JSON).
+
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+    /// Stable rule ID, e.g. `TNB-DET02`.
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// CI-clickable `file:line: [RULE_ID] message` form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Sorts by (file, line, col, rule) for stable output.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+/// Renders the machine-readable report:
+/// `{"violations": N, "rules": {id: count}, "diagnostics": [...]}`.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut counts: Vec<(&'static str, usize)> = Vec::new();
+    for d in diags {
+        match counts.iter_mut().find(|(r, _)| *r == d.rule) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((d.rule, 1)),
+        }
+    }
+    counts.sort();
+    let mut s = String::new();
+    let _ = write!(s, "{{\"violations\":{},\"rules\":{{", diags.len());
+    for (i, (rule, n)) in counts.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{}:{}", json_str(rule), n);
+    }
+    s.push_str("},\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{}}}",
+            json_str(&d.file),
+            d.line,
+            d.col,
+            json_str(d.rule),
+            json_str(&d.message)
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_clickable() {
+        let d = Diagnostic {
+            file: "crates/core/src/receiver.rs".into(),
+            line: 12,
+            col: 5,
+            rule: "TNB-DET02",
+            message: "HashMap in decode path".into(),
+        };
+        assert_eq!(
+            d.render(),
+            "crates/core/src/receiver.rs:12: [TNB-DET02] HashMap in decode path"
+        );
+    }
+
+    #[test]
+    fn json_escapes() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -1,0 +1,191 @@
+//! Layering rules (TNB-LAYER01/02): the crate-dependency DAG is part of
+//! the architecture — `tnb-dsp` sits at the bottom, `tnb-core` may see
+//! only the substrate (`dsp`, `phy`) plus `tnb-metrics`, and the
+//! application crates (`cli`, `sim`, `bench`) must never leak into the
+//! libraries. Parsed straight from each crate's `Cargo.toml`
+//! `[dependencies]` section (dev-dependencies are exempt: tests may
+//! reach across layers).
+
+use crate::diagnostics::Diagnostic;
+use std::path::Path;
+
+/// Allowed `tnb-*` dependencies per crate. A crate absent from this
+/// table may depend on any library crate but never on another
+/// application crate listed in [`APP_CRATES`].
+const ALLOWED: [(&str, &[&str]); 8] = [
+    ("tnb-dsp", &[]),
+    ("tnb-metrics", &[]),
+    ("tnb-xtask", &[]),
+    ("tnb-phy", &["tnb-dsp"]),
+    ("tnb-channel", &["tnb-dsp", "tnb-phy"]),
+    ("tnb-core", &["tnb-dsp", "tnb-phy", "tnb-metrics"]),
+    ("tnb-baselines", &["tnb-dsp", "tnb-phy", "tnb-core"]),
+    (
+        "tnb-sim",
+        &[
+            "tnb-dsp",
+            "tnb-phy",
+            "tnb-channel",
+            "tnb-core",
+            "tnb-baselines",
+            "tnb-metrics",
+        ],
+    ),
+];
+
+/// Application/tooling crates that must never appear under any other
+/// crate's `[dependencies]`. (`tnb-sim` is a library the app crates may
+/// use; the [`ALLOWED`] table keeps it out of the decode path.)
+const APP_CRATES: [&str; 3] = ["tnb-cli", "tnb-bench", "tnb-xtask"];
+
+/// One parsed manifest: package name and its `tnb-*` dependencies with
+/// the manifest line each was declared on (1-based).
+#[derive(Debug)]
+pub struct Manifest {
+    pub file: String,
+    pub package: String,
+    pub deps: Vec<(String, usize)>,
+}
+
+/// Parses `name = …` dependency entries of the `[dependencies]` section
+/// and the `[package] name`. A deliberately small TOML subset — enough
+/// for this workspace's manifests.
+pub fn parse_manifest(file: &str, content: &str) -> Option<Manifest> {
+    let mut package = None;
+    let mut deps = Vec::new();
+    let mut section = "";
+    for (i, raw) in content.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            section = line;
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        match section {
+            "[package]" if key == "name" => {
+                package = Some(value.trim().trim_matches('"').to_string());
+            }
+            "[dependencies]" if key.starts_with("tnb-") => {
+                // `tnb-dsp.workspace = true` and `tnb-dsp = {...}` both
+                // declare a dependency on `tnb-dsp`.
+                let name = key.split('.').next().unwrap_or(key);
+                deps.push((name.to_string(), i + 1));
+            }
+            _ => {}
+        }
+    }
+    Some(Manifest {
+        file: file.to_string(),
+        package: package?,
+        deps,
+    })
+}
+
+/// Checks every manifest against the allowed DAG and for cycles.
+pub fn check(manifests: &[Manifest], diags: &mut Vec<Diagnostic>) {
+    for m in manifests {
+        let allowed = ALLOWED
+            .iter()
+            .find(|(name, _)| *name == m.package)
+            .map(|(_, deps)| *deps);
+        for (dep, line) in &m.deps {
+            let ok = match allowed {
+                Some(list) => list.contains(&dep.as_str()),
+                // Unlisted crates (cli, bench, facade): anything but the
+                // application crates.
+                None => !APP_CRATES.contains(&dep.as_str()),
+            };
+            if !ok {
+                diags.push(Diagnostic {
+                    file: m.file.clone(),
+                    line: *line,
+                    col: 1,
+                    rule: "TNB-LAYER01",
+                    message: format!(
+                        "{} must not depend on {dep} (allowed: {})",
+                        m.package,
+                        allowed
+                            .map(|l| if l.is_empty() {
+                                "none".to_string()
+                            } else {
+                                l.join(", ")
+                            })
+                            .unwrap_or_else(|| "any library crate".to_string())
+                    ),
+                });
+            }
+        }
+    }
+    // Cycle check over the declared graph (independent of the allowlist,
+    // which is itself acyclic: a future edit to ALLOWED cannot smuggle a
+    // cycle past this).
+    for m in manifests {
+        let mut stack = vec![(m.package.clone(), vec![m.package.clone()])];
+        while let Some((at, path)) = stack.pop() {
+            let Some(node) = manifests.iter().find(|x| x.package == at) else {
+                continue;
+            };
+            for (dep, line) in &node.deps {
+                if *dep == m.package {
+                    diags.push(Diagnostic {
+                        file: node.file.clone(),
+                        line: *line,
+                        col: 1,
+                        rule: "TNB-LAYER02",
+                        message: format!("dependency cycle: {} -> {dep}", path.join(" -> ")),
+                    });
+                } else if !path.contains(dep) {
+                    let mut p = path.clone();
+                    p.push(dep.clone());
+                    stack.push((dep.clone(), p));
+                }
+            }
+        }
+    }
+}
+
+/// Reads and checks all `crates/*/Cargo.toml` manifests under `root`.
+pub fn check_workspace(root: &Path, diags: &mut Vec<Diagnostic>) {
+    let mut manifests = Vec::new();
+    let crates_dir = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        return;
+    };
+    let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    dirs.sort();
+    for dir in dirs {
+        let manifest_path = dir.join("Cargo.toml");
+        let Ok(content) = std::fs::read_to_string(&manifest_path) else {
+            continue;
+        };
+        let rel = manifest_path
+            .strip_prefix(root)
+            .unwrap_or(&manifest_path)
+            .display()
+            .to_string();
+        if let Some(m) = parse_manifest(&rel, &content) {
+            manifests.push(m);
+        }
+    }
+    check(&manifests, diags);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_package_and_tnb_deps() {
+        let m = parse_manifest(
+            "crates/core/Cargo.toml",
+            "[package]\nname = \"tnb-core\"\n[dependencies]\ntnb-dsp.workspace = true\nrand = \"1\"\n[dev-dependencies]\ntnb-channel.workspace = true\n",
+        )
+        .unwrap();
+        assert_eq!(m.package, "tnb-core");
+        assert_eq!(m.deps.len(), 1);
+        assert_eq!(m.deps[0].0, "tnb-dsp");
+    }
+}

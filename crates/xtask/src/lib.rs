@@ -1,0 +1,31 @@
+//! `tnb-xtask`: dependency-free workspace tooling for the TnB repo.
+//!
+//! The `lint` subcommand is a line/token-level static analyzer enforcing
+//! the repo invariants clippy cannot express — serial/parallel decode
+//! determinism, the zero-allocation `DspScratch` symbol path, panic-free
+//! library crates, unsafe hygiene, the crate layering DAG, and a
+//! justification budget for `#[allow]`s. See `DESIGN.md` ("Static
+//! analysis & enforced invariants") for the rule table and escape-hatch
+//! syntax, and `crates/xtask/tests/fixtures/` for one minimal bad
+//! snippet per rule.
+
+pub mod diagnostics;
+pub mod layering;
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+pub use diagnostics::Diagnostic;
+pub use rules::{analyze_file, FileKind, FileScope, RULES};
+pub use source::SourceFile;
+pub use walk::{classify, run_lint};
+
+/// Analyzes a single in-memory file under `scope` — the entry point the
+/// golden-fixture suite drives.
+pub fn analyze_source(file: &str, content: &str, scope: &FileScope) -> Vec<Diagnostic> {
+    let src = SourceFile::parse(content);
+    let mut diags = Vec::new();
+    analyze_file(file, scope, &src, &mut diags);
+    diagnostics::sort(&mut diags);
+    diags
+}

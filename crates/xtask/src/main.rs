@@ -1,0 +1,102 @@
+//! `tnb-xtask` CLI.
+//!
+//! ```text
+//! cargo run -p tnb-xtask -- lint [--json] [--root <dir>]
+//! cargo run -p tnb-xtask -- rules
+//! ```
+//!
+//! `lint` exits 0 on a clean tree and 1 with `file:line: [RULE_ID]
+//! message` diagnostics otherwise (`--json` switches stdout to the
+//! machine-readable report). `rules` prints the rule table.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tnb_xtask::{diagnostics, run_lint, RULES};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("rules") => {
+            println!("{:<12} {:<16} summary", "rule", "group");
+            for (id, group, summary) in RULES {
+                println!("{id:<12} {group:<16} {summary}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: tnb-xtask lint [--json] [--root <dir>]");
+    eprintln!("       tnb-xtask rules");
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default root: the workspace this binary was built from, so
+    // `cargo run -p tnb-xtask -- lint` works from any cwd.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+    let diags = match run_lint(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("tnb-xtask lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", diagnostics::to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{}", d.render());
+        }
+        eprintln!(
+            "tnb-xtask lint: {} violation(s) across {} rule(s)",
+            diags.len(),
+            diags
+                .iter()
+                .map(|d| d.rule)
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+        );
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

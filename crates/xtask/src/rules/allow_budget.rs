@@ -1,0 +1,44 @@
+//! Allow budget (TNB-ALLOW01): a bare `#[allow(...)]` silently erodes
+//! every other gate, so each one must carry a justification comment —
+//! trailing on the same line or on the line directly above. Applies
+//! everywhere in the workspace, tests included.
+
+use super::Ctx;
+use crate::diagnostics::Diagnostic;
+
+pub fn check(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    for (i, line) in ctx.src.lines.iter().enumerate() {
+        let Some(col) = find_allow_attr(&line.code) else {
+            continue;
+        };
+        // A doc comment (`///`/`//!`, which strips to a comment starting
+        // with `/` or `!`) above the attribute is the item's docs, not a
+        // justification; only a plain `//` comment counts there.
+        let plain_comment_above = i > 0 && {
+            let above = ctx.src.lines[i - 1].comment.trim();
+            !above.is_empty() && !above.starts_with('/') && !above.starts_with('!')
+        };
+        let justified = !line.comment.trim().is_empty() || plain_comment_above;
+        if justified {
+            continue;
+        }
+        ctx.emit(
+            diags,
+            i,
+            col,
+            "TNB-ALLOW01",
+            "#[allow(...)] without a justification comment (same line or the line above)"
+                .to_string(),
+        );
+    }
+}
+
+/// Column of `#[allow(` / `#![allow(` on the line, if any.
+fn find_allow_attr(code: &str) -> Option<usize> {
+    for pat in ["#[allow(", "#![allow("] {
+        if let Some(col) = code.find(pat) {
+            return Some(col);
+        }
+    }
+    None
+}

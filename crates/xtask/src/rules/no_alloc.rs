@@ -1,0 +1,46 @@
+//! No-alloc hot path (TNB-ALLOC01): inside a `// tnb-lint: no_alloc`
+//! region — the warm `DspScratch` symbol path through
+//! demodulate/sync/sigcalc/thrive — no allocating constructors or
+//! collecting adapters may appear. Amortized growth of caller-owned
+//! buffers (`push`/`extend` into warm capacity) is allowed; fresh
+//! allocations per symbol are not.
+
+use super::{token_cols, Ctx};
+use crate::diagnostics::Diagnostic;
+
+const ALLOC_TOKENS: [&str; 12] = [
+    "vec!",
+    "Vec::new",
+    "Vec::with_capacity",
+    ".to_vec()",
+    ".collect()",
+    ".collect::<",
+    "Box::new",
+    "String::new",
+    "String::from",
+    "format!",
+    ".to_string()",
+    ".to_owned()",
+];
+
+pub fn check(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    for (i, line) in ctx.src.lines.iter().enumerate() {
+        if !line.no_alloc || line.in_test {
+            continue;
+        }
+        for tok in ALLOC_TOKENS {
+            for col in token_cols(&line.code, tok) {
+                ctx.emit(
+                    diags,
+                    i,
+                    col,
+                    "TNB-ALLOC01",
+                    format!(
+                        "`{tok}` allocates inside a `tnb-lint: no_alloc` hot-path region; \
+                         reuse a scratch buffer or hoist the allocation out of the symbol loop"
+                    ),
+                );
+            }
+        }
+    }
+}

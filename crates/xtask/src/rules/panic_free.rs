@@ -1,0 +1,142 @@
+//! Panic-freedom rules (TNB-PANIC01..04) for the five panic-free
+//! library crates: hostile input must degrade (clamp, `Option`,
+//! `DecodeOutcome::Degraded`), never unwind. This is the static superset
+//! of the CI clippy gate (`-D clippy::unwrap_used -D clippy::expect_used`):
+//! it also catches panic macros, release-mode asserts, and — inside
+//! `no_alloc` hot-path regions, where a panic would poison a whole
+//! worker batch — unguarded range slice indexing.
+
+use super::{token_cols, Ctx};
+use crate::diagnostics::Diagnostic;
+
+const PANIC_MACROS: [&str; 4] = ["panic!", "todo!", "unimplemented!", "unreachable!"];
+const ASSERT_MACROS: [&str; 3] = ["assert!", "assert_eq!", "assert_ne!"];
+const UNWRAP_TOKENS: [&str; 2] = [".unwrap()", ".expect("];
+
+pub fn check(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    for (i, line) in ctx.src.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for tok in PANIC_MACROS {
+            for col in token_cols(&line.code, tok) {
+                ctx.emit(
+                    diags,
+                    i,
+                    col,
+                    "TNB-PANIC01",
+                    format!(
+                        "`{tok}` in panic-free crate {}; degrade gracefully instead",
+                        ctx.scope.crate_name
+                    ),
+                );
+            }
+        }
+        for tok in ASSERT_MACROS {
+            for col in token_cols(&line.code, tok) {
+                ctx.emit(
+                    diags,
+                    i,
+                    col,
+                    "TNB-PANIC02",
+                    format!(
+                        "`{tok}` aborts release builds in panic-free crate {}; use \
+                         debug_{tok} or return an error",
+                        ctx.scope.crate_name
+                    ),
+                );
+            }
+        }
+        for tok in UNWRAP_TOKENS {
+            for col in token_cols(&line.code, tok) {
+                ctx.emit(
+                    diags,
+                    i,
+                    col,
+                    "TNB-PANIC03",
+                    format!(
+                        "`{tok}` in panic-free crate {}; match or use unwrap_or/`?`",
+                        ctx.scope.crate_name
+                    ),
+                );
+            }
+        }
+        if line.no_alloc {
+            for col in range_index_cols(&line.code) {
+                ctx.emit(
+                    diags,
+                    i,
+                    col,
+                    "TNB-PANIC04",
+                    "range slice indexing can panic mid-batch in a hot-path region; use \
+                     .get(a..b) and degrade on None"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// 0-based columns of range-index expressions `expr[a..b]` (also `[..b]`,
+/// `[a..]`, `..=` forms). The bare full-range `[..]` cannot panic and is
+/// skipped; array literals / attributes (`#[…]`, `= […]`) are excluded by
+/// requiring an index-expression context before the bracket.
+fn range_index_cols(code: &str) -> Vec<usize> {
+    let b: Vec<char> = code.chars().collect();
+    let mut cols = Vec::new();
+    for (i, &c) in b.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        // Index expression: the bracket follows an identifier char, `)`,
+        // or `]` (possibly a method-call result or nested index).
+        let Some(&prev) = b[..i].iter().rev().find(|c| !c.is_whitespace()) else {
+            continue;
+        };
+        if !(prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']') {
+            continue;
+        }
+        // Find the matching `]` on this line.
+        let mut depth = 0usize;
+        let mut end = None;
+        for (j, &cj) in b.iter().enumerate().skip(i) {
+            match cj {
+                '[' => depth += 1,
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(end) = end else { continue };
+        let inner: String = b[i + 1..end].iter().collect();
+        let trimmed = inner.trim();
+        if trimmed == ".." {
+            continue; // full-range never panics
+        }
+        if trimmed.contains("..") {
+            cols.push(i);
+        }
+    }
+    cols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::range_index_cols;
+
+    #[test]
+    fn detects_range_indexing() {
+        assert_eq!(range_index_cols("let a = &xs[1..n];").len(), 1);
+        assert_eq!(range_index_cols("xs[..m].iter()").len(), 1);
+        assert_eq!(range_index_cols("xs[k]").len(), 0);
+        assert_eq!(range_index_cols("&xs[..]").len(), 0);
+        assert_eq!(range_index_cols("#[cfg(feature = \"x\")]").len(), 0);
+        assert_eq!(range_index_cols("let r = 0..n;").len(), 0);
+        assert_eq!(range_index_cols("f(a)[i..j]").len(), 1);
+    }
+}

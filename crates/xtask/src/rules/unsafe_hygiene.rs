@@ -1,0 +1,33 @@
+//! Unsafe hygiene (TNB-UNSAFE01): every line introducing `unsafe` —
+//! blocks, fns, impls, trait declarations — must carry a `// SAFETY:`
+//! comment on the same line or within the three preceding lines, stating
+//! the invariant that makes the code sound. Applies everywhere in the
+//! workspace, tests included.
+
+use super::{token_cols, Ctx};
+use crate::diagnostics::Diagnostic;
+
+/// How many preceding lines may hold the `SAFETY:` comment.
+const LOOKBACK: usize = 3;
+
+pub fn check(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    for (i, line) in ctx.src.lines.iter().enumerate() {
+        let cols = token_cols(&line.code, "unsafe");
+        if cols.is_empty() {
+            continue;
+        }
+        let covered = std::iter::once(i)
+            .chain((i.saturating_sub(LOOKBACK)..i).rev())
+            .any(|j| ctx.src.lines[j].comment.contains("SAFETY:"));
+        if covered {
+            continue;
+        }
+        ctx.emit(
+            diags,
+            i,
+            cols[0],
+            "TNB-UNSAFE01",
+            "`unsafe` without a `// SAFETY:` comment stating the soundness invariant".to_string(),
+        );
+    }
+}

@@ -1,0 +1,422 @@
+//! Lexical preprocessing of a Rust source file for the line/token-level
+//! rules: comment and string-literal stripping, `#[cfg(test)]` region
+//! detection, and `tnb-lint` annotation parsing.
+//!
+//! The rules never see raw text — they see [`Line::code`], where comment
+//! bodies and string/char-literal contents have been blanked with spaces
+//! (delimiters are kept so columns line up with the original file), and
+//! [`Line::comment`], the concatenated comment text of the line (where
+//! `// SAFETY:` and `// tnb-lint:` annotations live).
+
+/// One preprocessed source line.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code with comments and literal contents blanked; same length and
+    /// column positions as the raw line.
+    pub code: String,
+    /// Comment text carried by this line (line comments and any block
+    /// comment content crossing it), concatenated.
+    pub comment: String,
+    /// Inside a `#[cfg(test)]` item (test module, test-only fn/use).
+    pub in_test: bool,
+    /// Inside a `// tnb-lint: no_alloc` annotated region.
+    pub no_alloc: bool,
+}
+
+/// A parsed `tnb-lint: allow(rule, ...) -- reason` escape hatch.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule IDs or group names being allowed.
+    pub rules: Vec<String>,
+    /// Justification text after `--` (empty when missing — an error).
+    pub reason: String,
+    /// Line (0-based) the allowance applies to: the annotation's own line
+    /// when it trails code, otherwise the next line carrying code.
+    pub target_line: usize,
+    /// Line (0-based) the annotation itself is written on.
+    pub at_line: usize,
+}
+
+/// A malformed `tnb-lint:` directive (unknown verb, missing reason, …).
+#[derive(Debug, Clone)]
+pub struct BadDirective {
+    pub line: usize,
+    pub message: String,
+}
+
+/// A fully preprocessed source file.
+#[derive(Debug, Default)]
+pub struct SourceFile {
+    pub lines: Vec<Line>,
+    pub allows: Vec<Allow>,
+    pub bad_directives: Vec<BadDirective>,
+}
+
+impl SourceFile {
+    /// Preprocesses `content`.
+    pub fn parse(content: &str) -> SourceFile {
+        let mut lines = strip(content);
+        mark_cfg_test_regions(&mut lines);
+        let (allows, bad_directives) = parse_directives(&mut lines);
+        SourceFile {
+            lines,
+            allows,
+            bad_directives,
+        }
+    }
+
+    /// True when an allowance for `rule` (by ID or by group name) covers
+    /// `line` (0-based).
+    pub fn is_allowed(&self, line: usize, rule_id: &str, group: &str) -> bool {
+        self.allows.iter().any(|a| {
+            a.target_line == line
+                && !a.reason.is_empty()
+                && a.rules.iter().any(|r| r == rule_id || r == group)
+        })
+    }
+}
+
+/// Lexer state carried across lines.
+enum State {
+    Normal,
+    /// Nesting depth of `/* */` (Rust block comments nest).
+    Block(u32),
+    /// Inside a `"…"` string literal.
+    Str,
+    /// Inside a raw string literal closed by `"` + this many `#`s.
+    RawStr(u32),
+}
+
+/// Splits `content` into [`Line`]s with comments and literal bodies
+/// blanked. Column positions are preserved exactly.
+fn strip(content: &str) -> Vec<Line> {
+    let mut out: Vec<Line> = Vec::new();
+    let mut state = State::Normal;
+    for raw in content.lines() {
+        let mut line = Line::default();
+        let b: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < b.len() {
+            let c = b[i];
+            match state {
+                State::Normal => {
+                    if c == '/' && b.get(i + 1) == Some(&'/') {
+                        line.comment.push_str(&raw_tail(&b, i + 2));
+                        line.code.extend(std::iter::repeat_n(' ', b.len() - i));
+                        i = b.len();
+                    } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                        state = State::Block(1);
+                        line.code.push_str("  ");
+                        i += 2;
+                    } else if c == '"' {
+                        state = State::Str;
+                        line.code.push('"');
+                        i += 1;
+                    } else if c == 'r'
+                        && !prev_is_ident(&line.code)
+                        && raw_string_hashes(&b, i).is_some()
+                    {
+                        // r"…" / r#"…"# raw string: skip to the opening
+                        // quote, blanking the prefix.
+                        let hashes = raw_string_hashes(&b, i).unwrap_or(0);
+                        let skip = 1 + hashes as usize + 1; // r, #s, "
+                        line.code.extend(std::iter::repeat_n(' ', skip));
+                        state = State::RawStr(hashes);
+                        i += skip;
+                    } else if c == '\'' {
+                        // Char literal vs lifetime: a backslash or a
+                        // closing quote two chars on means a literal.
+                        if b.get(i + 1) == Some(&'\\') {
+                            // Escaped char literal: blank to the closing '.
+                            let mut j = i + 2;
+                            while j < b.len() && b[j] != '\'' {
+                                j += 1;
+                            }
+                            let end = (j + 1).min(b.len());
+                            line.code.extend(std::iter::repeat_n(' ', end - i));
+                            i = end;
+                        } else if b.get(i + 2) == Some(&'\'') {
+                            line.code.push_str("   ");
+                            i += 3;
+                        } else {
+                            // Lifetime: keep the tick, scan on.
+                            line.code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                }
+                State::Block(depth) => {
+                    if c == '*' && b.get(i + 1) == Some(&'/') {
+                        state = if depth > 1 {
+                            State::Block(depth - 1)
+                        } else {
+                            State::Normal
+                        };
+                        line.code.push_str("  ");
+                        i += 2;
+                    } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                        state = State::Block(depth + 1);
+                        line.code.push_str("  ");
+                        i += 2;
+                    } else {
+                        line.comment.push(c);
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        line.code.push_str("  ");
+                        i += 2;
+                    } else if c == '"' {
+                        state = State::Normal;
+                        line.code.push('"');
+                        i += 1;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' && hashes_follow(&b, i + 1, hashes) {
+                        state = State::Normal;
+                        let skip = 1 + hashes as usize;
+                        line.code.extend(std::iter::repeat_n(' ', skip));
+                        i += skip;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Strings and block comments may span lines: `state` carries over.
+        out.push(line);
+    }
+    out
+}
+
+fn raw_tail(b: &[char], from: usize) -> String {
+    b[from.min(b.len())..].iter().collect()
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// If `b[i] == 'r'` starts a raw string, the number of `#`s, else `None`.
+fn raw_string_hashes(b: &[char], i: usize) -> Option<u32> {
+    let mut j = i + 1;
+    let mut hashes = 0u32;
+    while b.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (b.get(j) == Some(&'"')).then_some(hashes)
+}
+
+fn hashes_follow(b: &[char], from: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| b.get(from + k) == Some(&'#'))
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item (the attribute,
+/// any stacked attributes, and the item's body through its closing brace
+/// or terminating semicolon).
+fn mark_cfg_test_regions(lines: &mut [Line]) {
+    let starts: Vec<usize> = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.code.contains("cfg(test") && l.code.contains("#["))
+        .map(|(i, _)| i)
+        .collect();
+    for s in starts {
+        let end = item_region_end(lines, s);
+        for l in lines.iter_mut().take(end + 1).skip(s) {
+            l.in_test = true;
+        }
+    }
+}
+
+/// End line (0-based, inclusive) of the item starting at/after `start`:
+/// scans forward for the first `{` and returns the line of its matching
+/// `}`, or the line of a `;` seen before any brace (use/extern items).
+/// Falls back to `start` itself for malformed input.
+fn item_region_end(lines: &[Line], start: usize) -> usize {
+    let mut depth: i64 = 0;
+    let mut opened = false;
+    for (li, line) in lines.iter().enumerate().skip(start) {
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if opened && depth <= 0 {
+                        return li;
+                    }
+                }
+                ';' if !opened && depth == 0 => return li,
+                _ => {}
+            }
+        }
+    }
+    lines.len().saturating_sub(1).max(start)
+}
+
+/// Parses all `tnb-lint:` directives, marking `no_alloc` regions and
+/// collecting `allow(...)` escape hatches.
+fn parse_directives(lines: &mut [Line]) -> (Vec<Allow>, Vec<BadDirective>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    let n = lines.len();
+    for i in 0..n {
+        let comment = lines[i].comment.clone();
+        // Only a comment *starting* with the marker is a directive; prose
+        // mentioning the syntax (doc comments start with `/` or `!` after
+        // stripping, and mid-sentence mentions are not at the start) is
+        // not parsed.
+        let Some(directive) = comment
+            .trim_start()
+            .strip_prefix("tnb-lint:")
+            .map(str::trim)
+        else {
+            continue;
+        };
+        if let Some(rest) = directive.strip_prefix("allow(") {
+            let Some(close) = rest.find(')') else {
+                bad.push(BadDirective {
+                    line: i,
+                    message: "malformed `tnb-lint: allow(...)`: missing `)`".into(),
+                });
+                continue;
+            };
+            let rules: Vec<String> = rest[..close]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            let after = rest[close + 1..].trim();
+            let reason = after.strip_prefix("--").map(str::trim).unwrap_or("");
+            if rules.is_empty() {
+                bad.push(BadDirective {
+                    line: i,
+                    message: "`tnb-lint: allow()` names no rules".into(),
+                });
+                continue;
+            }
+            if reason.is_empty() {
+                bad.push(BadDirective {
+                    line: i,
+                    message: format!(
+                        "`tnb-lint: allow({})` without a `-- <reason>` justification",
+                        rules.join(", ")
+                    ),
+                });
+                continue;
+            }
+            // A standalone annotation (no code on its line) covers the
+            // next line that carries code; a trailing one covers its own.
+            let target = if lines[i].code.trim().is_empty() {
+                (i + 1..n)
+                    .find(|&j| !lines[j].code.trim().is_empty())
+                    .unwrap_or(i)
+            } else {
+                i
+            };
+            allows.push(Allow {
+                rules,
+                reason: reason.to_string(),
+                target_line: target,
+                at_line: i,
+            });
+        } else if directive == "no_alloc" || directive.starts_with("no_alloc --") {
+            let end = item_region_end(lines, i);
+            for l in lines.iter_mut().take(end + 1).skip(i) {
+                l.no_alloc = true;
+            }
+        } else {
+            bad.push(BadDirective {
+                line: i,
+                message: format!(
+                    "unknown `tnb-lint:` directive `{}` (expected `allow(...) -- reason` or `no_alloc`)",
+                    directive.split_whitespace().next().unwrap_or("")
+                ),
+            });
+        }
+    }
+    (allows, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = SourceFile::parse("let x = \"Instant::now\"; // Instant::now\nlet y = 1;");
+        assert!(!f.lines[0].code.contains("Instant"));
+        assert!(f.lines[0].comment.contains("Instant::now"));
+        assert_eq!(f.lines[1].code, "let y = 1;");
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let f = SourceFile::parse("a /* x\nHashMap\n*/ b");
+        assert!(!f.lines[1].code.contains("HashMap"));
+        assert!(f.lines[1].comment.contains("HashMap"));
+        assert!(f.lines[2].code.contains('b'));
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}";
+        let f = SourceFile::parse(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test && f.lines[2].in_test && f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn no_alloc_region_covers_function_body() {
+        let src =
+            "// tnb-lint: no_alloc\nfn hot(x: &mut Vec<u8>) {\n    x.push(1);\n}\nfn cold() {}";
+        let f = SourceFile::parse(src);
+        assert!(f.lines[0].no_alloc && f.lines[1].no_alloc && f.lines[2].no_alloc);
+        assert!(f.lines[3].no_alloc);
+        assert!(!f.lines[4].no_alloc);
+    }
+
+    #[test]
+    fn allow_requires_reason() {
+        let f = SourceFile::parse("// tnb-lint: allow(TNB-PANIC02)\nassert!(true);");
+        assert_eq!(f.allows.len(), 0);
+        assert_eq!(f.bad_directives.len(), 1);
+
+        let ok = SourceFile::parse("// tnb-lint: allow(TNB-PANIC02) -- precondition\nassert!(x);");
+        assert_eq!(ok.allows.len(), 1);
+        assert_eq!(ok.allows[0].target_line, 1);
+        assert!(ok.is_allowed(1, "TNB-PANIC02", "panic_free"));
+        assert!(!ok.is_allowed(1, "TNB-DET01", "determinism"));
+    }
+
+    #[test]
+    fn trailing_allow_targets_own_line() {
+        let f = SourceFile::parse("assert!(x); // tnb-lint: allow(panic_free) -- precondition");
+        assert_eq!(f.allows[0].target_line, 0);
+        assert!(f.is_allowed(0, "TNB-PANIC02", "panic_free"));
+    }
+
+    #[test]
+    fn char_literals_do_not_open_strings() {
+        let f = SourceFile::parse("let a = '\"'; let b: Vec<u8> = vec![];");
+        assert!(f.lines[0].code.contains("vec!"));
+    }
+}

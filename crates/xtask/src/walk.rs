@@ -1,0 +1,111 @@
+//! Workspace walking: maps every first-party `.rs` file to a
+//! [`FileScope`] and runs the source rules plus the manifest layering
+//! check. Vendored compat shims (`compat/`), build output (`target/`)
+//! and the linter's own bad-snippet fixtures
+//! (`crates/xtask/tests/fixtures/`) are out of scope.
+
+use crate::diagnostics::{self, Diagnostic};
+use crate::layering;
+use crate::rules::{analyze_file, FileKind, FileScope};
+use crate::source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Directories under the workspace root that are scanned.
+const SCAN_ROOTS: [&str; 4] = ["crates", "src", "tests", "examples"];
+
+/// Path substrings that exclude a file from scanning.
+const EXCLUDES: [&str; 3] = ["compat/", "target/", "crates/xtask/tests/fixtures/"];
+
+/// Runs the full lint over the workspace at `root`. Returns sorted
+/// diagnostics (empty = clean tree).
+pub fn run_lint(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    for scan in SCAN_ROOTS {
+        collect_rs(&root.join(scan), &mut files)?;
+    }
+    files.sort();
+    let mut diags = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if EXCLUDES.iter().any(|e| rel.contains(e)) {
+            continue;
+        }
+        let scope = classify(&rel);
+        let content = std::fs::read_to_string(path)?;
+        let src = SourceFile::parse(&content);
+        analyze_file(&rel, &scope, &src, &mut diags);
+    }
+    layering::check_workspace(root, &mut diags);
+    diagnostics::sort(&mut diags);
+    Ok(diags)
+}
+
+/// Recursively collects `.rs` files (missing roots are fine).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Ok(());
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scope of a workspace-relative path: which crate it belongs to and
+/// whether it is library source or test/bench/example code.
+pub fn classify(rel: &str) -> FileScope {
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.as_slice() {
+        ["crates", krate, "src", ..] => FileScope {
+            crate_name: crate_package_name(krate),
+            kind: FileKind::LibSrc,
+        },
+        ["crates", krate, ..] => FileScope {
+            crate_name: crate_package_name(krate),
+            kind: FileKind::TestCode,
+        },
+        ["src", ..] => FileScope {
+            crate_name: "tnb".to_string(),
+            kind: FileKind::LibSrc,
+        },
+        _ => FileScope {
+            crate_name: "tnb".to_string(),
+            kind: FileKind::TestCode,
+        },
+    }
+}
+
+/// Package name of a `crates/<dir>` crate (all follow the `tnb-<dir>`
+/// convention).
+fn crate_package_name(dir: &str) -> String {
+    format!("tnb-{dir}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let s = classify("crates/core/src/receiver.rs");
+        assert_eq!(s.crate_name, "tnb-core");
+        assert_eq!(s.kind, FileKind::LibSrc);
+        let t = classify("crates/phy/tests/alloc_free.rs");
+        assert_eq!(t.crate_name, "tnb-phy");
+        assert_eq!(t.kind, FileKind::TestCode);
+        let f = classify("src/lib.rs");
+        assert_eq!(f.crate_name, "tnb");
+        assert_eq!(f.kind, FileKind::LibSrc);
+        let e = classify("examples/quickstart.rs");
+        assert_eq!(e.kind, FileKind::TestCode);
+    }
+}

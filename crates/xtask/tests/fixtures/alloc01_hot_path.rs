@@ -1,0 +1,10 @@
+//@ crate: tnb-core
+//@ kind: lib
+//@ expect: TNB-ALLOC01 @ 8
+
+/// Hot symbol loop (bad: fresh heap allocation per symbol).
+// tnb-lint: no_alloc
+pub fn hot(n: usize) -> Vec<f32> {
+    let buf = vec![0.0f32; n];
+    buf
+}

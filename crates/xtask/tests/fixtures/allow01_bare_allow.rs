@@ -1,0 +1,7 @@
+//@ crate: tnb-sim
+//@ kind: lib
+//@ expect: TNB-ALLOW01 @ 6
+
+/// Wide helper (bad: doc comments are not a justification).
+#[allow(clippy::too_many_arguments)]
+pub fn wide(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8, g: u8, h: u8) {}

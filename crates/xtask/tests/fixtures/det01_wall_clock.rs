@@ -1,0 +1,9 @@
+//@ crate: tnb-core
+//@ kind: lib
+//@ expect: TNB-DET01 @ 7
+
+/// Timestamps a decode pass (bad: wall clock in the decode path).
+pub fn stamp_pass() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

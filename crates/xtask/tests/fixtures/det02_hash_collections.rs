@@ -1,0 +1,8 @@
+//@ crate: tnb-phy
+//@ kind: lib
+//@ expect: TNB-DET02 @ 7
+
+/// Caches folded spectra keyed by bin (bad: randomized iteration order).
+pub struct SpectrumCache {
+    cache: HashMap<usize, f32>,
+}

@@ -1,0 +1,8 @@
+//@ crate: tnb-core
+//@ kind: lib
+//@ expect: TNB-DET03 @ 7
+
+/// Per-worker hit counter (bad: Cell-based metrics outside tnb-metrics).
+pub struct Hits {
+    count: Cell<u64>,
+}

@@ -1,0 +1,14 @@
+//@ crate: tnb-core
+//@ kind: lib
+//@ expect: TNB-LINT01 @ 7
+//@ expect: TNB-LINT01 @ 10
+//@ expect: TNB-LINT01 @ 13
+
+// tnb-lint: allow(TNB-PANIC02)
+pub fn reasonless() {}
+
+// tnb-lint: allow(TNB-NOPE99) -- not a real rule
+pub fn unknown_rule() {}
+
+// tnb-lint: frobnicate
+pub fn unknown_directive() {}

@@ -1,0 +1,29 @@
+//@ crate: tnb-core
+//@ kind: lib
+//@ expect: none
+
+/// A documented precondition behind a justified escape hatch is clean.
+pub fn checked(xs: &[u8], n: usize) {
+    assert!(xs.len() >= n); // tnb-lint: allow(TNB-PANIC02) -- documented precondition
+}
+
+// SAFETY: the buffer outlives the call and the cast only reads the address.
+pub fn covered(xs: &[u64]) -> usize {
+    unsafe { xs.as_ptr() as usize }
+}
+
+/// Amortized growth of a warm scratch buffer is fine in a hot region.
+// tnb-lint: no_alloc -- warm buffers only
+pub fn warm(buf: &mut Vec<f32>, x: f32) {
+    buf.push(x);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_out_of_scope_for_decode_rules() {
+        assert_eq!(1 + 1, 2);
+        let m: HashMap<u8, u8> = HashMap::new();
+        drop(m);
+    }
+}

@@ -1,0 +1,9 @@
+//@ crate: tnb-phy
+//@ kind: test
+//@ expect: none
+
+/// Integration-test helpers may unwrap and assert freely.
+pub fn helper(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty());
+    xs.first().copied().unwrap()
+}

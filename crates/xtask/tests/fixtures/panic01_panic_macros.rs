@@ -1,0 +1,8 @@
+//@ crate: tnb-dsp
+//@ kind: lib
+//@ expect: TNB-PANIC01 @ 7
+
+/// Unfinished branch (bad: panic macro in a panic-free crate).
+pub fn fold(kind: u8) -> u32 {
+    todo!("fold variant {kind}")
+}

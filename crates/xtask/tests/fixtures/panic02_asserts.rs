@@ -1,0 +1,8 @@
+//@ crate: tnb-phy
+//@ kind: lib
+//@ expect: TNB-PANIC02 @ 7
+
+/// Length precondition (bad: assert aborts release builds too).
+pub fn check_len(xs: &[u8], n: usize) {
+    assert_eq!(xs.len(), n);
+}

@@ -1,0 +1,8 @@
+//@ crate: tnb-channel
+//@ kind: lib
+//@ expect: TNB-PANIC03 @ 7
+
+/// First channel tap (bad: unwrap on potentially hostile input).
+pub fn first_tap(taps: &[f32]) -> f32 {
+    *taps.first().unwrap()
+}

@@ -1,0 +1,9 @@
+//@ crate: tnb-core
+//@ kind: lib
+//@ expect: TNB-PANIC04 @ 8
+
+/// Hot window slice (bad: a short trace panics mid-batch; use .get()).
+// tnb-lint: no_alloc
+pub fn window(xs: &[f32], s: usize, l: usize) -> f32 {
+    xs[s..s + l].iter().sum()
+}

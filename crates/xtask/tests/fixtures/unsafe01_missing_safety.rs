@@ -1,0 +1,8 @@
+//@ crate: tnb-dsp
+//@ kind: lib
+//@ expect: TNB-UNSAFE01 @ 7
+
+/// Reinterprets a buffer (bad: missing soundness comment).
+pub fn reinterpret(xs: &[u64]) -> &[u32] {
+    unsafe { std::slice::from_raw_parts(xs.as_ptr() as *const u32, xs.len() * 2) }
+}
