@@ -17,8 +17,11 @@ use crate::error::TraceError;
 
 /// Scale used when converting float samples to `i16`: the synthetic
 /// traces have unit noise power, so ±8 standard deviations of headroom
-/// around strong packets fits comfortably.
-const DEFAULT_SCALE: f32 = 1024.0;
+/// around strong packets fits comfortably. Exported so other IQ16
+/// serializers (the gateway wire protocol) quantize identically to the
+/// trace files — a trace streamed over the wire and a trace saved to
+/// disk decode to the same bytes.
+pub const IQ16_SCALE: f32 = 1024.0;
 
 /// Writes samples as interleaved little-endian `i16` I/Q pairs, scaled by
 /// `scale` (values saturate at the `i16` range).
@@ -41,7 +44,7 @@ pub fn write_iq16<W: Write>(out: W, samples: &[Complex32], scale: f32) -> io::Re
 
 /// Writes a trace file at `path` (see [`write_iq16`]).
 pub fn save_trace<P: AsRef<Path>>(path: P, samples: &[Complex32]) -> io::Result<()> {
-    write_iq16(File::create(path)?, samples, DEFAULT_SCALE)
+    write_iq16(File::create(path)?, samples, IQ16_SCALE)
 }
 
 /// Reads interleaved little-endian `i16` I/Q pairs, dividing by `scale`.
@@ -67,7 +70,7 @@ pub fn read_iq16<R: Read>(input: R, scale: f32) -> Result<Vec<Complex32>, TraceE
 
 /// Reads a trace file written by [`save_trace`].
 pub fn load_trace<P: AsRef<Path>>(path: P) -> Result<Vec<Complex32>, TraceError> {
-    read_iq16(File::open(path)?, DEFAULT_SCALE)
+    read_iq16(File::open(path)?, IQ16_SCALE)
 }
 
 #[cfg(test)]
@@ -80,12 +83,12 @@ mod tests {
             .map(|i| Complex32::new((i as f32 * 0.013).sin() * 3.0, (i as f32 * 0.007).cos()))
             .collect();
         let mut buf = Vec::new();
-        write_iq16(&mut buf, &samples, DEFAULT_SCALE).unwrap();
+        write_iq16(&mut buf, &samples, IQ16_SCALE).unwrap();
         assert_eq!(buf.len(), 4000);
-        let back = read_iq16(&buf[..], DEFAULT_SCALE).unwrap();
+        let back = read_iq16(&buf[..], IQ16_SCALE).unwrap();
         assert_eq!(back.len(), samples.len());
         for (a, b) in samples.iter().zip(&back) {
-            assert!((*a - *b).abs() < 1.0 / DEFAULT_SCALE, "{a} vs {b}");
+            assert!((*a - *b).abs() < 1.0 / IQ16_SCALE, "{a} vs {b}");
         }
     }
 
@@ -93,10 +96,10 @@ mod tests {
     fn saturation_clamps() {
         let samples = [Complex32::new(1e6, -1e6)];
         let mut buf = Vec::new();
-        write_iq16(&mut buf, &samples, DEFAULT_SCALE).unwrap();
-        let back = read_iq16(&buf[..], DEFAULT_SCALE).unwrap();
-        assert!((back[0].re - i16::MAX as f32 / DEFAULT_SCALE).abs() < 0.01);
-        assert!((back[0].im - i16::MIN as f32 / DEFAULT_SCALE).abs() < 0.01);
+        write_iq16(&mut buf, &samples, IQ16_SCALE).unwrap();
+        let back = read_iq16(&buf[..], IQ16_SCALE).unwrap();
+        assert!((back[0].re - i16::MAX as f32 / IQ16_SCALE).abs() < 0.01);
+        assert!((back[0].im - i16::MIN as f32 / IQ16_SCALE).abs() < 0.01);
     }
 
     #[test]

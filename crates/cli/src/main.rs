@@ -27,6 +27,7 @@ fn main() -> ExitCode {
         "compare" => cmd::compare(rest),
         "report" => cmd::report(rest),
         "faults" => cmd::faults(rest),
+        "gateway" => cmd::gateway(rest),
         "info" => cmd::info(rest),
         "--help" | "-h" | "help" => {
             println!("{}", cmd::USAGE);

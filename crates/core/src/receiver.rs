@@ -88,6 +88,34 @@ impl DegradeReason {
     }
 }
 
+impl DecodeOutcome {
+    /// Detected packet start (fractional sample index) of either variant.
+    pub fn start(&self) -> f64 {
+        match self {
+            DecodeOutcome::Decoded { start, .. } | DecodeOutcome::Degraded { start, .. } => *start,
+        }
+    }
+
+    /// Compact JSON object, e.g.
+    /// `{"status":"decoded","start":4000,"pass":1}` or
+    /// `{"status":"degraded","start":4000,"reason":"header"}`.
+    ///
+    /// This is the per-packet outcome schema shared by `tnb-cli report
+    /// --json` and the gateway uplink/stats lines, so downstream
+    /// consumers parse degradation reasons the same way everywhere.
+    pub fn to_json(&self) -> String {
+        match self {
+            DecodeOutcome::Decoded { start, pass } => {
+                format!("{{\"status\":\"decoded\",\"start\":{start},\"pass\":{pass}}}")
+            }
+            DecodeOutcome::Degraded { start, reason } => format!(
+                "{{\"status\":\"degraded\",\"start\":{start},\"reason\":\"{}\"}}",
+                reason.name()
+            ),
+        }
+    }
+}
+
 /// Per-packet outcome recorded in [`DecodeReport`]: every detected
 /// packet ends up either decoded or degraded-with-reason, so a batch
 /// over hostile input yields a full account instead of a crash.
@@ -180,6 +208,38 @@ impl DecodeReport {
             .iter()
             .filter(|o| matches!(o, DecodeOutcome::Degraded { .. }))
             .count()
+    }
+
+    /// JSON array of every per-packet outcome, in detection order (see
+    /// [`DecodeOutcome::to_json`] for the element schema).
+    pub fn outcomes_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&o.to_json());
+        }
+        out.push(']');
+        out
+    }
+
+    /// Compact JSON object with the aggregate counts and the per-packet
+    /// outcomes (stage counters are reported separately — see
+    /// `tnb-cli report --json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"detected\":{},\"decoded\":{},\"degraded\":{},\"second_pass_rescues\":{},\
+             \"header_failures\":{},\"payload_failures\":{},\"truncated\":{},\"outcomes\":{}}}",
+            self.detected,
+            self.decoded,
+            self.degraded(),
+            self.second_pass_rescues,
+            self.header_failures,
+            self.payload_failures,
+            self.truncated,
+            self.outcomes_json(),
+        )
     }
 }
 

@@ -79,6 +79,45 @@ fn accounting_balances_on_empty_and_clean_traces() {
 }
 
 #[test]
+fn outcome_json_carries_per_packet_reasons() {
+    use tnb_core::{DecodeOutcome, DegradeReason};
+    let decoded = DecodeOutcome::Decoded {
+        start: 4000.0,
+        pass: 1,
+    };
+    assert_eq!(
+        decoded.to_json(),
+        "{\"status\":\"decoded\",\"start\":4000,\"pass\":1}"
+    );
+    assert_eq!(decoded.start(), 4000.0);
+    let degraded = DecodeOutcome::Degraded {
+        start: 123.5,
+        reason: DegradeReason::Header,
+    };
+    assert_eq!(
+        degraded.to_json(),
+        "{\"status\":\"degraded\",\"start\":123.5,\"reason\":\"header\"}"
+    );
+
+    let report = DecodeReport {
+        detected: 2,
+        decoded: 1,
+        header_failures: 1,
+        outcomes: vec![decoded, degraded],
+        ..DecodeReport::default()
+    };
+    assert!(report.accounting_ok());
+    let json = report.to_json();
+    assert!(
+        json.contains("\"outcomes\":[{\"status\":\"decoded\""),
+        "{json}"
+    );
+    assert!(json.contains("\"reason\":\"header\""), "{json}");
+    assert!(json.contains("\"detected\":2"), "{json}");
+    assert_eq!(report.outcomes_json().matches("status").count(), 2);
+}
+
+#[test]
 fn absorb_preserves_accounting() {
     let p = params();
     let rx = TnbReceiver::new(p);

@@ -1,0 +1,153 @@
+//! Loopback / load-generator client for the gateway wire protocol.
+//!
+//! Speaks the framed IQ protocol of [`crate::wire`] over a plain
+//! [`TcpStream`]: chunked DATA frames per stream, END_STREAM / STATS /
+//! SHUTDOWN control verbs, and a background reader collecting the
+//! daemon's JSON uplink lines. The traffic synthesis that drives this
+//! client lives in `tnb-sim` (the layer above); this module is only the
+//! socket plumbing, so integration tests and the CLI can reuse it.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::wire::{encode_frame, quantize, Frame, MAX_FRAME_SAMPLES};
+use tnb_dsp::Complex32;
+
+/// Default DATA-frame chunk length in samples (64 ms at 1 Msps — large
+/// enough to amortize framing, small enough to exercise chunk-boundary
+/// packet reassembly).
+pub const DEFAULT_CHUNK: usize = 65_536;
+
+/// A connected gateway client. Writes frames on the caller's thread;
+/// a background thread accumulates every uplink line the daemon sends.
+pub struct GatewayClient {
+    sock: TcpStream,
+    reader: Option<JoinHandle<Vec<String>>>,
+    next_seq: BTreeMap<u32, u32>,
+}
+
+impl GatewayClient {
+    /// Connects, retrying until `timeout` (the daemon binds and starts
+    /// accepting asynchronously). The deadline is control-plane only —
+    /// nothing on the decode path ever reads the wall clock.
+    pub fn connect<A: ToSocketAddrs + Clone>(addr: A, timeout: Duration) -> io::Result<Self> {
+        // tnb-lint: allow(TNB-DET01) -- control-plane connect deadline, never on the decode path
+        let deadline = Instant::now() + timeout;
+        let sock = loop {
+            match TcpStream::connect(addr.clone()) {
+                Ok(s) => break s,
+                Err(e) => {
+                    // tnb-lint: allow(TNB-DET01) -- control-plane connect deadline, never on the decode path
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    thread::sleep(Duration::from_millis(20));
+                }
+            }
+        };
+        sock.set_nodelay(true).ok();
+        let read_half = sock.try_clone()?;
+        let reader = thread::spawn(move || {
+            let mut lines = Vec::new();
+            for line in BufReader::new(read_half).lines() {
+                match line {
+                    Ok(l) => lines.push(l),
+                    Err(_) => break,
+                }
+            }
+            lines
+        });
+        Ok(GatewayClient {
+            sock,
+            reader: Some(reader),
+            next_seq: BTreeMap::new(),
+        })
+    }
+
+    /// Streams `samples` as DATA frames of `chunk_len` samples on
+    /// `stream_id`, quantizing through the shared wire quantizer (so a
+    /// local reference decode over [`quantize`]d samples sees exactly
+    /// the bytes the daemon sees). Returns the number of frames sent.
+    pub fn send_samples(
+        &mut self,
+        stream_id: u32,
+        samples: &[Complex32],
+        chunk_len: usize,
+    ) -> io::Result<u32> {
+        let chunk_len = chunk_len.clamp(1, MAX_FRAME_SAMPLES);
+        let mut sent = 0;
+        for chunk in samples.chunks(chunk_len) {
+            let seq = self.bump_seq(stream_id);
+            let frame = Frame::data(stream_id, seq, chunk.to_vec());
+            self.sock.write_all(&encode_frame(&frame))?;
+            sent += 1;
+        }
+        self.sock.flush()?;
+        Ok(sent)
+    }
+
+    /// Sends one raw, already-built frame (fault-injection tests use
+    /// this to ship deliberately corrupted byte strings).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.sock.write_all(bytes)?;
+        self.sock.flush()
+    }
+
+    /// END_STREAM: the daemon flushes the stream's receiver and writes
+    /// its end-of-stream report line.
+    pub fn end_stream(&mut self, stream_id: u32) -> io::Result<()> {
+        let seq = self.bump_seq(stream_id);
+        self.sock
+            .write_all(&encode_frame(&Frame::end_stream(stream_id, seq)))?;
+        self.sock.flush()
+    }
+
+    /// STATS: the daemon replies with one stats JSON line.
+    pub fn request_stats(&mut self) -> io::Result<()> {
+        self.sock.write_all(&encode_frame(&Frame::stats()))?;
+        self.sock.flush()
+    }
+
+    /// SHUTDOWN: asks the whole daemon to shut down gracefully.
+    pub fn request_shutdown(&mut self) -> io::Result<()> {
+        self.sock.write_all(&encode_frame(&Frame::shutdown()))?;
+        self.sock.flush()
+    }
+
+    /// Closes the write half and returns every JSON line the daemon
+    /// sent (the daemon flushes end-of-stream lines on EOF, so this
+    /// collects a complete transcript).
+    pub fn finish(mut self) -> Vec<String> {
+        let _ = self.sock.shutdown(Shutdown::Write);
+        match self.reader.take() {
+            Some(h) => h.join().unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+
+    fn bump_seq(&mut self, stream_id: u32) -> u32 {
+        let seq = self.next_seq.entry(stream_id).or_insert(0);
+        let cur = *seq;
+        *seq = seq.wrapping_add(1);
+        cur
+    }
+}
+
+impl Drop for GatewayClient {
+    fn drop(&mut self) {
+        let _ = self.sock.shutdown(Shutdown::Both);
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Quantizes `samples` exactly as the wire does end-to-end — the
+/// reference for byte-identity checks against a direct
+/// [`tnb_core::StreamingReceiver`] decode.
+pub fn wire_reference(samples: &[Complex32]) -> Vec<Complex32> {
+    quantize(samples)
+}

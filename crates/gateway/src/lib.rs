@@ -1,0 +1,35 @@
+//! tnb-gateway: a networked gateway daemon serving the TnB streaming
+//! decoder over a framed IQ wire protocol.
+//!
+//! This crate turns the library pipeline into a deployable service, the
+//! shape the paper's testbed uses (USRP frontends feeding a gateway
+//! that forwards decoded LoRa frames upstream):
+//!
+//! - [`wire`] — the versioned, CRC-checked binary framing for IQ chunks
+//!   (interleaved i16 IQ at 1 Msps) plus control verbs.
+//! - [`server`] — the `std::net` TCP daemon: one reader + one decoder
+//!   thread per connection, per-stream [`tnb_core::StreamingReceiver`]s,
+//!   bounded drop-oldest ingest queues, and `catch_unwind` fault
+//!   containment.
+//! - [`uplink`] — the JSON-lines uplink format for decoded packets
+//!   (Semtech `PUSH_DATA`-style `rxpk` objects, timestamps from the
+//!   sample clock — never the wall clock).
+//! - [`client`] — the loopback client used by `tnb-sim`'s load
+//!   generator, the CLI, and the integration tests.
+//! - [`stats`] — `Sync` control-plane counters ([`tnb_metrics::SharedCounter`])
+//!   exposed through the STATS verb.
+//!
+//! Everything is dependency-free (`std::net` only), and the whole
+//! uplink path is deterministic: streaming the same trace yields
+//! byte-identical JSON lines on every run and every worker count.
+
+pub mod client;
+pub mod server;
+pub mod stats;
+pub mod uplink;
+pub mod wire;
+
+pub use client::GatewayClient;
+pub use server::{Gateway, GatewayConfig};
+pub use stats::{GatewayStats, GatewayStatsSnapshot};
+pub use wire::{Frame, FrameKind, FrameReader, WireError};

@@ -1,0 +1,539 @@
+//! The gateway daemon: a `std::net` TCP server feeding per-stream
+//! [`StreamingReceiver`]s from framed IQ connections.
+//!
+//! # Thread model
+//!
+//! ```text
+//! accept loop ──► one connection thread per client
+//!                   ├─ reader  (this thread): FrameReader::poll → Ingest queue
+//!                   └─ decoder (spawned):     Ingest queue → StreamingReceiver
+//!                                              → uplink JSON lines on the socket
+//! ```
+//!
+//! The ingest queue is **bounded with drop-oldest backpressure**: when
+//! the decoder falls behind the socket, the oldest buffered DATA chunk
+//! is evicted (never control verbs) and `chunks_dropped` increments —
+//! the daemon sheds load instead of ballooning memory or stalling the
+//! reader. Each connection is fault-contained: a panicking stream decode
+//! is caught ([`std::panic::catch_unwind`], same policy as the parallel
+//! receiver's worker containment), the stream's receiver is restarted,
+//! and every other stream and connection keeps decoding. A malformed
+//! frame yields a typed [`crate::wire::WireError`], one `error` JSON
+//! line, and closes only that connection.
+//!
+//! All timing on the uplink path comes from the sample clock
+//! ([`StreamingReceiver::position`]); the daemon never reads the wall
+//! clock (TNB-DET01), so a replayed stream uplinks byte-identical lines.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::stats::{GatewayStats, GatewayStatsSnapshot};
+use crate::uplink;
+use crate::wire::{FrameKind, FrameReader, ReadStep};
+use tnb_core::{DecodeReport, MetricsSnapshot, StreamingConfig, StreamingReceiver};
+use tnb_dsp::Complex32;
+use tnb_phy::LoRaParams;
+
+/// How often blocked socket reads wake up to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Daemon configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayConfig {
+    /// PHY parameters every stream of this daemon is decoded with.
+    pub params: LoRaParams,
+    /// Per-stream streaming-receiver configuration (`workers` reuses the
+    /// parallel pipeline inside each stream's receiver).
+    pub streaming: StreamingConfig,
+    /// Ingest-queue bound, in buffered DATA chunks per connection.
+    /// Beyond it the oldest buffered chunk is dropped (clamped to ≥ 1).
+    pub queue_chunks: usize,
+}
+
+impl GatewayConfig {
+    /// Defaults: single worker, no observation, 256-chunk ingest bound.
+    pub fn new(params: LoRaParams) -> Self {
+        GatewayConfig {
+            params,
+            streaming: StreamingConfig::default(),
+            queue_chunks: 256,
+        }
+    }
+}
+
+/// Work items flowing from a connection's reader to its decoder.
+enum Work {
+    /// One DATA frame's samples.
+    Chunk {
+        stream_id: u32,
+        seq: u32,
+        samples: Vec<Complex32>,
+    },
+    /// END_STREAM verb: flush and report one stream.
+    End { stream_id: u32 },
+    /// STATS verb: emit a stats JSON line.
+    Stats,
+    /// Reader is done (EOF, shutdown, or a protocol error): flush every
+    /// stream and exit. `error` carries the wire-error name + detail
+    /// when a malformed frame ended the connection.
+    Terminal {
+        error: Option<(&'static str, String)>,
+    },
+}
+
+/// Bounded MPSC queue with drop-oldest backpressure on DATA chunks.
+/// Control verbs are never dropped and don't count toward the bound.
+struct Ingest {
+    state: Mutex<IngestState>,
+    ready: Condvar,
+    cap: usize,
+}
+
+struct IngestState {
+    items: VecDeque<Work>,
+    chunks: usize,
+}
+
+impl Ingest {
+    fn new(cap: usize) -> Self {
+        Ingest {
+            state: Mutex::new(IngestState {
+                items: VecDeque::new(),
+                chunks: 0,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, IngestState> {
+        // A poisoned queue mutex only means a decoder panicked while
+        // holding it; the queue data is still structurally valid.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues `w`; returns how many chunks were evicted to make room.
+    fn push(&self, w: Work) -> u64 {
+        let mut st = self.lock();
+        let mut dropped = 0;
+        if matches!(w, Work::Chunk { .. }) {
+            while st.chunks >= self.cap {
+                let Some(pos) = st
+                    .items
+                    .iter()
+                    .position(|i| matches!(i, Work::Chunk { .. }))
+                else {
+                    break;
+                };
+                st.items.remove(pos);
+                st.chunks -= 1;
+                dropped += 1;
+            }
+            st.chunks += 1;
+        }
+        st.items.push_back(w);
+        drop(st);
+        self.ready.notify_one();
+        dropped
+    }
+
+    /// Blocks until an item is available. The reader always enqueues a
+    /// [`Work::Terminal`] before exiting, so this cannot hang forever.
+    fn pop(&self) -> Work {
+        let mut st = self.lock();
+        loop {
+            if let Some(w) = st.items.pop_front() {
+                if matches!(w, Work::Chunk { .. }) {
+                    st.chunks -= 1;
+                }
+                return w;
+            }
+            st = self.ready.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// A running gateway daemon. Dropping (or [`Gateway::join`]) signals
+/// shutdown and joins every thread.
+pub struct Gateway {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<GatewayStats>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop in a background thread.
+    pub fn spawn<A: ToSocketAddrs>(addr: A, cfg: GatewayConfig) -> io::Result<Gateway> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(GatewayStats::default());
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            thread::spawn(move || accept_loop(listener, cfg, stats, shutdown))
+        };
+        Ok(Gateway {
+            local_addr,
+            shutdown,
+            stats,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live counter snapshot.
+    pub fn stats(&self) -> GatewayStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Whether shutdown has been requested (locally or by a client's
+    /// SHUTDOWN verb).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown without blocking; threads exit within one poll
+    /// interval.
+    pub fn signal_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful shutdown: signals every thread, joins them (flushing
+    /// per-stream end lines on open connections) and returns the final
+    /// counters.
+    pub fn join(mut self) -> GatewayStatsSnapshot {
+        self.shutdown_and_join();
+        self.stats.snapshot()
+    }
+
+    fn shutdown_and_join(&mut self) {
+        self.signal_shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    cfg: GatewayConfig,
+    stats: Arc<GatewayStats>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((sock, _peer)) => {
+                let stats = Arc::clone(&stats);
+                let shutdown = Arc::clone(&shutdown);
+                conns.push(thread::spawn(move || {
+                    serve_connection(sock, cfg, stats, shutdown)
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // Reap finished connections so the handle list stays
+                // bounded on long-lived daemons.
+                let mut live = Vec::with_capacity(conns.len());
+                for h in conns {
+                    if h.is_finished() {
+                        let _ = h.join();
+                    } else {
+                        live.push(h);
+                    }
+                }
+                conns = live;
+                thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+fn serve_connection(
+    sock: TcpStream,
+    cfg: GatewayConfig,
+    stats: Arc<GatewayStats>,
+    shutdown: Arc<AtomicBool>,
+) {
+    stats.connections_accepted.inc();
+    let write_half = match sock.try_clone() {
+        Ok(w) => w,
+        Err(_) => {
+            // No way to uplink results; nothing useful to serve.
+            stats.connections_closed.inc();
+            return;
+        }
+    };
+    let _ = sock.set_read_timeout(Some(POLL_INTERVAL));
+    let ingest = Arc::new(Ingest::new(cfg.queue_chunks));
+    let decoder = {
+        let ingest = Arc::clone(&ingest);
+        let stats = Arc::clone(&stats);
+        thread::spawn(move || decode_loop(&ingest, write_half, cfg, &stats))
+    };
+    read_loop(sock, &ingest, &stats, &shutdown);
+    let _ = decoder.join();
+    stats.connections_closed.inc();
+}
+
+/// Parses frames off the socket until EOF, shutdown, or a wire error,
+/// feeding the decoder through the bounded ingest queue.
+fn read_loop(mut sock: TcpStream, ingest: &Ingest, stats: &GatewayStats, shutdown: &AtomicBool) {
+    let mut reader = FrameReader::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            ingest.push(Work::Terminal { error: None });
+            return;
+        }
+        match reader.poll(&mut sock) {
+            Ok(ReadStep::Pending) => {}
+            Ok(ReadStep::Eof) => {
+                ingest.push(Work::Terminal { error: None });
+                return;
+            }
+            Ok(ReadStep::Frame(frame)) => {
+                stats.frames_in.inc();
+                match frame.kind {
+                    FrameKind::Data => {
+                        stats.chunks_in.inc();
+                        stats.samples_in.add(frame.samples.len() as u64);
+                        let dropped = ingest.push(Work::Chunk {
+                            stream_id: frame.stream_id,
+                            seq: frame.seq,
+                            samples: frame.samples,
+                        });
+                        stats.chunks_dropped.add(dropped);
+                    }
+                    FrameKind::EndStream => {
+                        ingest.push(Work::End {
+                            stream_id: frame.stream_id,
+                        });
+                    }
+                    FrameKind::Stats => {
+                        ingest.push(Work::Stats);
+                    }
+                    FrameKind::Shutdown => {
+                        shutdown.store(true, Ordering::SeqCst);
+                        ingest.push(Work::Terminal { error: None });
+                        return;
+                    }
+                }
+            }
+            Err(e) => {
+                stats.protocol_errors.inc();
+                ingest.push(Work::Terminal {
+                    error: Some((e.name(), e.to_string())),
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// One stream's decode state inside a connection.
+struct Session {
+    rx: StreamingReceiver,
+    next_seq: u32,
+    uplinked: u64,
+}
+
+/// Drains the ingest queue, decoding each stream with its own
+/// [`StreamingReceiver`] and writing uplink JSON lines to `write_half`.
+fn decode_loop(ingest: &Ingest, write_half: TcpStream, cfg: GatewayConfig, stats: &GatewayStats) {
+    let mut out = BufWriter::new(write_half);
+    let mut sessions: BTreeMap<u32, Session> = BTreeMap::new();
+    let mut closed_report = DecodeReport::default();
+    let mut last_metrics = MetricsSnapshot::default();
+    loop {
+        match ingest.pop() {
+            Work::Chunk {
+                stream_id,
+                seq,
+                samples,
+            } => {
+                let s = sessions.entry(stream_id).or_insert_with(|| Session {
+                    rx: StreamingReceiver::with_config(cfg.params, cfg.streaming),
+                    next_seq: 0,
+                    uplinked: 0,
+                });
+                if seq != s.next_seq {
+                    stats.seq_gaps.inc();
+                }
+                s.next_seq = seq.wrapping_add(1);
+                // Fault containment: a panicking decode restarts this
+                // stream's receiver (sample clock rebases); every other
+                // stream and connection is untouched.
+                let pkts = match catch_unwind(AssertUnwindSafe(|| s.rx.push(&samples))) {
+                    Ok(pkts) => pkts,
+                    Err(_) => {
+                        stats.worker_panics.inc();
+                        s.rx = StreamingReceiver::with_config(cfg.params, cfg.streaming);
+                        Vec::new()
+                    }
+                };
+                for p in &pkts {
+                    let line = uplink::uplink_line(&cfg.params, stream_id, s.uplinked, p);
+                    s.uplinked += 1;
+                    stats.packets_uplinked.inc();
+                    let _ = writeln!(out, "{line}");
+                }
+                if !pkts.is_empty() {
+                    let _ = out.flush();
+                }
+            }
+            Work::End { stream_id } => {
+                if let Some(mut s) = sessions.remove(&stream_id) {
+                    finish_session(
+                        stream_id,
+                        &mut s,
+                        &cfg,
+                        stats,
+                        &mut out,
+                        &mut closed_report,
+                        &mut last_metrics,
+                    );
+                }
+                let _ = out.flush();
+            }
+            Work::Stats => {
+                let mut report = closed_report.clone();
+                let mut metrics = last_metrics;
+                for s in sessions.values() {
+                    report.absorb(&s.rx.report());
+                    metrics = s.rx.metrics_snapshot();
+                }
+                let line = uplink::stats_line(&stats.snapshot(), &report, &metrics);
+                let _ = writeln!(out, "{line}");
+                let _ = out.flush();
+            }
+            Work::Terminal { error } => {
+                if let Some((name, detail)) = error {
+                    let _ = writeln!(out, "{}", uplink::error_line(name, &detail));
+                }
+                let ids: Vec<u32> = sessions.keys().copied().collect();
+                for id in ids {
+                    if let Some(mut s) = sessions.remove(&id) {
+                        finish_session(
+                            id,
+                            &mut s,
+                            &cfg,
+                            stats,
+                            &mut out,
+                            &mut closed_report,
+                            &mut last_metrics,
+                        );
+                    }
+                }
+                let _ = out.flush();
+                return;
+            }
+        }
+    }
+}
+
+/// Flushes a stream's tail, uplinks any final packets, and writes the
+/// end-of-stream report line.
+fn finish_session(
+    stream_id: u32,
+    s: &mut Session,
+    cfg: &GatewayConfig,
+    stats: &GatewayStats,
+    out: &mut BufWriter<TcpStream>,
+    closed_report: &mut DecodeReport,
+    last_metrics: &mut MetricsSnapshot,
+) {
+    let pkts = match catch_unwind(AssertUnwindSafe(|| s.rx.finish())) {
+        Ok(pkts) => pkts,
+        Err(_) => {
+            stats.worker_panics.inc();
+            Vec::new()
+        }
+    };
+    for p in &pkts {
+        let line = uplink::uplink_line(&cfg.params, stream_id, s.uplinked, p);
+        s.uplinked += 1;
+        stats.packets_uplinked.inc();
+        let _ = writeln!(out, "{line}");
+    }
+    let report = s.rx.report();
+    *last_metrics = s.rx.metrics_snapshot();
+    let _ = writeln!(
+        out,
+        "{}",
+        uplink::end_line(stream_id, s.rx.position(), s.uplinked, &report)
+    );
+    closed_report.absorb(&report);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(n: usize) -> Work {
+        Work::Chunk {
+            stream_id: 0,
+            seq: n as u32,
+            samples: vec![Complex32::ZERO; 4],
+        }
+    }
+
+    #[test]
+    fn ingest_drops_oldest_chunk_but_never_control_verbs() {
+        let q = Ingest::new(2);
+        assert_eq!(q.push(chunk(0)), 0);
+        assert_eq!(q.push(Work::Stats), 0);
+        assert_eq!(q.push(chunk(1)), 0);
+        // Queue holds chunks {0,1} at the cap of 2: the next chunk
+        // evicts seq 0, the oldest buffered chunk.
+        assert_eq!(q.push(chunk(2)), 1);
+        // Control verbs are never counted or dropped.
+        assert_eq!(q.push(Work::End { stream_id: 0 }), 0);
+        match q.pop() {
+            Work::Stats => {}
+            _ => panic!("Stats verb survives eviction and stays FIFO-first"),
+        }
+        match q.pop() {
+            Work::Chunk { seq, .. } => assert_eq!(seq, 1, "seq 0 was evicted"),
+            _ => panic!("expected chunk"),
+        }
+        match q.pop() {
+            Work::Chunk { seq, .. } => assert_eq!(seq, 2),
+            _ => panic!("expected chunk"),
+        }
+        match q.pop() {
+            Work::End { .. } => {}
+            _ => panic!("expected end"),
+        }
+    }
+
+    #[test]
+    fn ingest_cap_zero_clamps_to_one() {
+        let q = Ingest::new(0);
+        assert_eq!(q.push(chunk(0)), 0);
+        assert_eq!(q.push(chunk(1)), 1);
+    }
+}

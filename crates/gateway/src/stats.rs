@@ -1,0 +1,126 @@
+//! Gateway service counters.
+//!
+//! These live on the *control plane*: they are bumped concurrently by
+//! socket readers and per-connection decoders whose interleaving is
+//! inherently nondeterministic, so they use the `Sync`
+//! [`tnb_metrics::SharedCounter`] rather than the per-worker `Cell`
+//! counters of the decode path — and they never feed anything compared
+//! for byte-identity.
+
+use tnb_metrics::SharedCounter;
+
+/// Live counters of one daemon instance (shared across every
+/// connection's threads via `Arc`).
+#[derive(Debug, Default)]
+pub struct GatewayStats {
+    /// Connections accepted by the listener.
+    pub connections_accepted: SharedCounter,
+    /// Connections fully torn down (reader and decoder joined).
+    pub connections_closed: SharedCounter,
+    /// Frames parsed successfully (data + control).
+    pub frames_in: SharedCounter,
+    /// DATA frames parsed.
+    pub chunks_in: SharedCounter,
+    /// Complex samples received in DATA frames.
+    pub samples_in: SharedCounter,
+    /// DATA chunks evicted by the drop-oldest backpressure policy
+    /// (ingest queue full: the decoder is slower than the socket).
+    pub chunks_dropped: SharedCounter,
+    /// DATA frames whose `seq` skipped ahead of the previous chunk of
+    /// the same stream (sender-side loss or reordering).
+    pub seq_gaps: SharedCounter,
+    /// Malformed frames (any [`crate::wire::WireError`]); each closes
+    /// its connection, the daemon keeps serving the others.
+    pub protocol_errors: SharedCounter,
+    /// Decoded packets uplinked as JSON lines.
+    pub packets_uplinked: SharedCounter,
+    /// Stream decodes that panicked and were contained (receiver
+    /// replaced, connection kept alive).
+    pub worker_panics: SharedCounter,
+}
+
+impl GatewayStats {
+    /// Plain-data snapshot of every counter.
+    pub fn snapshot(&self) -> GatewayStatsSnapshot {
+        GatewayStatsSnapshot {
+            connections_accepted: self.connections_accepted.get(),
+            connections_closed: self.connections_closed.get(),
+            frames_in: self.frames_in.get(),
+            chunks_in: self.chunks_in.get(),
+            samples_in: self.samples_in.get(),
+            chunks_dropped: self.chunks_dropped.get(),
+            seq_gaps: self.seq_gaps.get(),
+            protocol_errors: self.protocol_errors.get(),
+            packets_uplinked: self.packets_uplinked.get(),
+            worker_panics: self.worker_panics.get(),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`GatewayStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStatsSnapshot {
+    pub connections_accepted: u64,
+    pub connections_closed: u64,
+    pub frames_in: u64,
+    pub chunks_in: u64,
+    pub samples_in: u64,
+    pub chunks_dropped: u64,
+    pub seq_gaps: u64,
+    pub protocol_errors: u64,
+    pub packets_uplinked: u64,
+    pub worker_panics: u64,
+}
+
+impl GatewayStatsSnapshot {
+    /// Compact JSON object with one key per counter.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"connections_accepted\":{},\"connections_closed\":{},\
+             \"frames_in\":{},\"chunks_in\":{},\"samples_in\":{},\
+             \"chunks_dropped\":{},\"seq_gaps\":{},\"protocol_errors\":{},\
+             \"packets_uplinked\":{},\"worker_panics\":{}}}",
+            self.connections_accepted,
+            self.connections_closed,
+            self.frames_in,
+            self.chunks_in,
+            self.samples_in,
+            self.chunks_dropped,
+            self.seq_gaps,
+            self.protocol_errors,
+            self.packets_uplinked,
+            self.worker_panics,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_json_cover_every_counter() {
+        let stats = GatewayStats::default();
+        stats.frames_in.add(3);
+        stats.chunks_dropped.inc();
+        let snap = stats.snapshot();
+        assert_eq!(snap.frames_in, 3);
+        assert_eq!(snap.chunks_dropped, 1);
+        let json = snap.to_json();
+        for key in [
+            "connections_accepted",
+            "connections_closed",
+            "frames_in",
+            "chunks_in",
+            "samples_in",
+            "chunks_dropped",
+            "seq_gaps",
+            "protocol_errors",
+            "packets_uplinked",
+            "worker_panics",
+        ] {
+            assert!(json.contains(&format!("\"{key}\":")), "{json}");
+        }
+        assert!(json.contains("\"frames_in\":3"), "{json}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the wire framing: encode/decode round-trips over
+//! random frames, arbitrary split points, and garbage-prefix rejection —
+//! the decoder must never panic and never mis-parse.
+
+use proptest::prelude::*;
+use tnb_dsp::Complex32;
+use tnb_gateway::wire::{
+    crc32, decode_frame, decode_frame_exact, encode_frame, quantize, FrameReader, ReadStep,
+    WireError, CRC_LEN, HEADER_LEN,
+};
+use tnb_gateway::{Frame, FrameKind};
+
+/// Deterministic sample synthesis from a seed (xorshift), so cases are
+/// reproducible without threading RNG state through the strategy.
+fn samples(seed: u64, n: usize) -> Vec<Complex32> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let re = ((x & 0xFFFF) as f32 / 32768.0) - 1.0;
+            let im = (((x >> 16) & 0xFFFF) as f32 / 32768.0) - 1.0;
+            Complex32::new(re, im)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn data_frames_roundtrip(
+        stream_id in 0u32..u32::MAX,
+        seq in 0u32..u32::MAX,
+        seed in 0u64..10_000,
+        n in 0usize..600,
+    ) {
+        let s = samples(seed, n);
+        let f = Frame::data(stream_id, seq, s.clone());
+        let bytes = encode_frame(&f);
+        prop_assert_eq!(bytes.len(), HEADER_LEN + 4 * n + CRC_LEN);
+        let back = decode_frame_exact(&bytes)
+            .unwrap_or_else(|e| panic!("decode failed: {e}"));
+        prop_assert_eq!(back.kind, FrameKind::Data);
+        prop_assert_eq!(back.stream_id, stream_id);
+        prop_assert_eq!(back.seq, seq);
+        // The payload survives as its wire quantization, idempotently.
+        prop_assert_eq!(&back.samples, &quantize(&s));
+        prop_assert_eq!(&quantize(&back.samples), &back.samples);
+    }
+
+    #[test]
+    fn every_prefix_is_pending_or_typed_error(
+        seed in 0u64..10_000,
+        n in 0usize..200,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = encode_frame(&Frame::data(1, 2, samples(seed, n)));
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        // A strict prefix never yields a frame and never panics.
+        match decode_frame(&bytes[..cut.min(bytes.len() - 1)]) {
+            Ok(None) | Err(_) => {}
+            Ok(Some(_)) => prop_assert!(false, "prefix decoded a whole frame"),
+        }
+    }
+
+    #[test]
+    fn split_streams_reassemble(
+        seed in 0u64..10_000,
+        n1 in 0usize..120,
+        n2 in 0usize..120,
+        step in 1usize..64,
+    ) {
+        let f1 = Frame::data(3, 0, samples(seed, n1));
+        let f2 = Frame::data(3, 1, samples(seed ^ 0xABCD, n2));
+        let f3 = Frame::end_stream(3, 2);
+        let mut bytes = encode_frame(&f1);
+        bytes.extend_from_slice(&encode_frame(&f2));
+        bytes.extend_from_slice(&encode_frame(&f3));
+
+        struct Trickle<'a> { data: &'a [u8], pos: usize, step: usize }
+        impl std::io::Read for Trickle<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let n = self.step.min(self.data.len() - self.pos).min(buf.len());
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        let mut r = Trickle { data: &bytes, pos: 0, step };
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        loop {
+            match reader.poll(&mut r) {
+                Ok(ReadStep::Frame(f)) => frames.push(f),
+                Ok(ReadStep::Pending) => {}
+                Ok(ReadStep::Eof) => break,
+                Err(e) => panic!("wire error: {e}"),
+            }
+        }
+        prop_assert_eq!(frames.len(), 3);
+        prop_assert_eq!(frames[0].seq, 0);
+        prop_assert_eq!(frames[1].seq, 1);
+        prop_assert_eq!(frames[2].kind, FrameKind::EndStream);
+    }
+
+    #[test]
+    fn corrupted_byte_never_misparses(
+        seed in 0u64..10_000,
+        n in 1usize..100,
+        flip_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let f = Frame::data(9, 4, samples(seed, n));
+        let good = encode_frame(&f);
+        let mut bad = good.clone();
+        let idx = ((bad.len() as f64) * flip_frac) as usize % bad.len();
+        bad[idx] ^= 1 << bit;
+        match decode_frame_exact(&bad) {
+            // A flip must surface as a typed error...
+            Err(
+                WireError::BadMagic(_)
+                | WireError::BadVersion(_)
+                | WireError::BadKind(_)
+                | WireError::BadFlags { .. }
+                | WireError::ControlWithPayload { .. }
+                | WireError::Oversized { .. }
+                | WireError::Truncated { .. }
+                | WireError::CrcMismatch { .. },
+            ) => {}
+            Err(e) => panic!("unexpected error class: {e}"),
+            // ...except a flip in `sample_count` that still CRC-fails is
+            // impossible: a parse can only succeed if the CRC matches,
+            // which a single flipped bit cannot achieve.
+            Ok(_) => prop_assert!(false, "corrupted frame decoded successfully"),
+        }
+    }
+
+    #[test]
+    fn crc32_catches_single_bit_flips(seed in 0u64..10_000, n in 1usize..64, pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut bytes: Vec<u8> = samples(seed, n).iter().flat_map(|s| {
+            [(s.re * 100.0) as i8 as u8, (s.im * 100.0) as i8 as u8]
+        }).collect();
+        let before = crc32(&bytes);
+        let idx = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        prop_assert_ne!(before, crc32(&bytes));
+    }
+}

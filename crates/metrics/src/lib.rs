@@ -22,6 +22,7 @@
 //! keeping the receiver's zero-alloc steady state intact.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// The five pipeline stages of the TnB receiver (paper Fig. 3, with
@@ -96,6 +97,34 @@ impl Counter {
     /// the merged total is independent of worker scheduling).
     pub fn absorb(&self, other: &Counter) {
         self.add(other.get());
+    }
+}
+
+/// A thread-safe, monotonically increasing event count for control-plane
+/// services (the gateway daemon's ingest/backpressure/protocol counters).
+///
+/// Unlike [`Counter`], which is `Cell`-based and owned by exactly one
+/// worker along the determinism boundary, a `SharedCounter` is `Sync` and
+/// meant to be bumped concurrently from service threads whose ordering is
+/// inherently nondeterministic (socket readers, per-connection decoders).
+/// It must therefore never feed anything compared for byte-identity.
+#[derive(Debug, Default)]
+pub struct SharedCounter(AtomicU64);
+
+impl SharedCounter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
     }
 }
 
@@ -549,6 +578,25 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.get(), 15);
         assert_eq!(b.get(), 10);
+    }
+
+    #[test]
+    fn shared_counter_is_sync_and_sums() {
+        let c = std::sync::Arc::new(SharedCounter::default());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.inc();
+                }
+                c.add(5);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 4 * 1005);
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Loopback load generator for the gateway daemon.
+//!
+//! Spawns a [`tnb_gateway::Gateway`] on a loopback ephemeral port,
+//! streams synthesized collided traffic at it through the wire client,
+//! and checks the uplinked JSON lines are **byte-identical** to a
+//! direct [`StreamingReceiver`] decode of the same (wire-quantized)
+//! samples — the gateway's end-to-end determinism contract: putting a
+//! socket, framing, and a daemon between the samples and the decoder
+//! must not change a single uplinked byte.
+
+use std::io;
+use std::time::Duration;
+
+use tnb_core::{DecodedPacket, StreamingConfig, StreamingReceiver};
+use tnb_dsp::Complex32;
+use tnb_gateway::client::DEFAULT_CHUNK;
+use tnb_gateway::wire::quantize;
+use tnb_gateway::{uplink, Gateway, GatewayClient, GatewayConfig, GatewayStatsSnapshot};
+use tnb_phy::LoRaParams;
+
+use tnb_channel::trace::{PacketConfig, TraceBuilder};
+
+/// One loopback run's shape.
+#[derive(Debug, Clone, Copy)]
+pub struct LoopbackConfig {
+    /// PHY parameters for synthesis and decode.
+    pub params: LoRaParams,
+    /// Worker threads inside each per-stream streaming receiver.
+    pub workers: usize,
+    /// Concurrent streams multiplexed on the single connection.
+    pub streams: u32,
+    /// Colliding packets synthesized per stream.
+    pub packets: usize,
+    /// DATA-frame chunk length in samples.
+    pub chunk: usize,
+    /// Synthesis seed (stream `s` uses `seed + s`).
+    pub seed: u64,
+}
+
+impl LoopbackConfig {
+    /// A 3-packet collision on one stream, single worker.
+    pub fn new(params: LoRaParams) -> Self {
+        LoopbackConfig {
+            params,
+            workers: 1,
+            streams: 1,
+            packets: 3,
+            chunk: DEFAULT_CHUNK,
+            seed: 7,
+        }
+    }
+
+    fn streaming(&self) -> StreamingConfig {
+        StreamingConfig {
+            workers: self.workers,
+            ..StreamingConfig::default()
+        }
+    }
+}
+
+/// What one loopback run produced.
+#[derive(Debug)]
+pub struct LoopbackOutcome {
+    /// Per-stream uplink + end lines received from the daemon, in
+    /// arrival order (index = stream id).
+    pub daemon_lines: Vec<Vec<String>>,
+    /// Per-stream reference lines from the direct in-process decode.
+    pub reference_lines: Vec<Vec<String>>,
+    /// Total decoded packets uplinked by the daemon.
+    pub uplinked: u64,
+    /// Total samples streamed across all streams.
+    pub samples: u64,
+    /// Final daemon counters.
+    pub stats: GatewayStatsSnapshot,
+}
+
+impl LoopbackOutcome {
+    /// True when every stream's daemon transcript equals its reference
+    /// byte for byte.
+    pub fn byte_identical(&self) -> bool {
+        self.daemon_lines == self.reference_lines
+    }
+}
+
+/// Synthesizes one stream's collided trace: `packets` transmissions
+/// whose airtimes overlap pairwise (starts staggered by a third of a
+/// packet), distinct payloads, per-packet SNR/CFO spread.
+pub fn collided_samples(params: LoRaParams, seed: u64, packets: usize) -> Vec<Complex32> {
+    let mut b = TraceBuilder::new(params, seed).without_noise();
+    let extent = b.packet_samples(16);
+    let stagger = extent / 3;
+    for i in 0..packets.max(1) {
+        let payload: Vec<u8> = (0..16)
+            .map(|j| (seed as u8) ^ (i as u8 * 31) ^ (j as u8 * 7))
+            .collect();
+        b.add_packet(
+            &payload,
+            PacketConfig {
+                start_sample: 4_000 + i * stagger,
+                snr_db: 10.0 - i as f32 * 2.0,
+                cfo_hz: (i as f64 - 1.0) * 900.0,
+                ..Default::default()
+            },
+        );
+    }
+    b.build().samples().to_vec()
+}
+
+/// The reference transcript: decodes the **wire-quantized** samples
+/// with a local [`StreamingReceiver`] pushed in exactly the gateway's
+/// chunking, rendering lines through the same serializers the daemon
+/// uses. Returns `(lines, uplinked)`.
+pub fn reference_transcript(
+    params: LoRaParams,
+    streaming: StreamingConfig,
+    stream_id: u32,
+    quantized: &[Complex32],
+    chunk: usize,
+) -> (Vec<String>, u64) {
+    let mut rx = StreamingReceiver::with_config(params, streaming);
+    let mut lines = Vec::new();
+    let mut uplinked = 0u64;
+    let emit = |pkts: &[DecodedPacket], uplinked: &mut u64, lines: &mut Vec<String>| {
+        for p in pkts {
+            lines.push(uplink::uplink_line(&params, stream_id, *uplinked, p));
+            *uplinked += 1;
+        }
+    };
+    for c in quantized.chunks(chunk.max(1)) {
+        let pkts = rx.push(c);
+        emit(&pkts, &mut uplinked, &mut lines);
+    }
+    let pkts = rx.finish();
+    emit(&pkts, &mut uplinked, &mut lines);
+    lines.push(uplink::end_line(
+        stream_id,
+        rx.position(),
+        uplinked,
+        &rx.report(),
+    ));
+    (lines, uplinked)
+}
+
+/// Runs one full loopback: daemon up, stream every configured stream
+/// over one connection, end them, collect the transcript, shut down.
+pub fn run_loopback(cfg: &LoopbackConfig) -> io::Result<LoopbackOutcome> {
+    let gw = Gateway::spawn(
+        ("127.0.0.1", 0),
+        GatewayConfig {
+            params: cfg.params,
+            streaming: cfg.streaming(),
+            queue_chunks: 1024,
+        },
+    )?;
+    let addr = gw.local_addr();
+    let mut client = GatewayClient::connect(addr, Duration::from_secs(5))?;
+
+    let mut reference_lines = Vec::new();
+    let mut samples_total = 0u64;
+    for s in 0..cfg.streams {
+        let samples = collided_samples(cfg.params, cfg.seed + s as u64, cfg.packets);
+        samples_total += samples.len() as u64;
+        client.send_samples(s, &samples, cfg.chunk)?;
+        client.end_stream(s)?;
+        let quantized = quantize(&samples);
+        let (lines, _) =
+            reference_transcript(cfg.params, cfg.streaming(), s, &quantized, cfg.chunk);
+        reference_lines.push(lines);
+    }
+
+    let transcript = client.finish();
+    let stats = gw.join();
+
+    // Split the daemon transcript back out per stream (a single decoder
+    // thread drains the queue FIFO, so per-stream order is preserved).
+    let mut daemon_lines: Vec<Vec<String>> = vec![Vec::new(); cfg.streams as usize];
+    for line in transcript {
+        for s in 0..cfg.streams {
+            if line.contains(&format!("\"stream\":{s},")) {
+                daemon_lines[s as usize].push(line);
+                break;
+            }
+        }
+    }
+    Ok(LoopbackOutcome {
+        daemon_lines,
+        reference_lines,
+        uplinked: stats.packets_uplinked,
+        samples: samples_total,
+        stats,
+    })
+}
+
+/// Wall-clock loopback throughput (decoded packets and streamed
+/// megasamples per second) for the benchmark artifact. Timing here is
+/// sim-layer only — the daemon itself never reads the wall clock.
+#[derive(Debug, Clone, Copy)]
+pub struct LoopbackBench {
+    /// Decoded packets uplinked per wall-clock second.
+    pub packets_per_sec: f64,
+    /// Streamed samples per wall-clock second.
+    pub samples_per_sec: f64,
+    /// Total packets uplinked.
+    pub uplinked: u64,
+    /// Total samples streamed.
+    pub samples: u64,
+    /// Whether the run was byte-identical to the reference decode.
+    pub byte_identical: bool,
+}
+
+impl LoopbackBench {
+    /// JSON object for the benchmark artifact.
+    pub fn to_json(&self, workers: usize) -> String {
+        format!(
+            "{{\"workers\":{},\"packets_per_sec\":{:.2},\"samples_per_sec\":{:.0},\
+             \"uplinked\":{},\"samples\":{},\"byte_identical\":{}}}",
+            workers,
+            self.packets_per_sec,
+            self.samples_per_sec,
+            self.uplinked,
+            self.samples,
+            self.byte_identical
+        )
+    }
+}
+
+/// Times [`run_loopback`] end to end.
+pub fn bench_loopback(cfg: &LoopbackConfig) -> io::Result<LoopbackBench> {
+    let t0 = std::time::Instant::now();
+    let outcome = run_loopback(cfg)?;
+    let dt = t0.elapsed().as_secs_f64().max(1e-9);
+    Ok(LoopbackBench {
+        packets_per_sec: outcome.uplinked as f64 / dt,
+        samples_per_sec: outcome.samples as f64 / dt,
+        uplinked: outcome.uplinked,
+        samples: outcome.samples,
+        byte_identical: outcome.byte_identical(),
+    })
+}

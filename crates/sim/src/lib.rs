@@ -7,6 +7,7 @@
 //! level, BEC-rescued codewords).
 
 pub mod deployment;
+pub mod gateway;
 pub mod metrics;
 pub mod runner;
 pub mod traffic;

@@ -12,7 +12,7 @@ use std::path::Path;
 /// Allowed `tnb-*` dependencies per crate. A crate absent from this
 /// table may depend on any library crate but never on another
 /// application crate listed in [`APP_CRATES`].
-const ALLOWED: [(&str, &[&str]); 8] = [
+const ALLOWED: [(&str, &[&str]); 9] = [
     ("tnb-dsp", &[]),
     ("tnb-metrics", &[]),
     ("tnb-xtask", &[]),
@@ -21,6 +21,16 @@ const ALLOWED: [(&str, &[&str]); 8] = [
     ("tnb-core", &["tnb-dsp", "tnb-phy", "tnb-metrics"]),
     ("tnb-baselines", &["tnb-dsp", "tnb-phy", "tnb-core"]),
     (
+        "tnb-gateway",
+        &[
+            "tnb-dsp",
+            "tnb-phy",
+            "tnb-channel",
+            "tnb-core",
+            "tnb-metrics",
+        ],
+    ),
+    (
         "tnb-sim",
         &[
             "tnb-dsp",
@@ -28,6 +38,7 @@ const ALLOWED: [(&str, &[&str]); 8] = [
             "tnb-channel",
             "tnb-core",
             "tnb-baselines",
+            "tnb-gateway",
             "tnb-metrics",
         ],
     ),

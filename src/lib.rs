@@ -17,6 +17,8 @@
 //!   AlignTrack*) behind a common trait.
 //! - [`sim`]: deployments, traffic generation and metrics used by the
 //!   experiment harness.
+//! - [`gateway`]: the networked gateway daemon — framed IQ over TCP into
+//!   per-stream streaming receivers, decoded packets out as JSON lines.
 //!
 //! # Quick start
 //!
@@ -43,5 +45,6 @@ pub use tnb_baselines as baselines;
 pub use tnb_channel as channel;
 pub use tnb_core as core;
 pub use tnb_dsp as dsp;
+pub use tnb_gateway as gateway;
 pub use tnb_phy as phy;
 pub use tnb_sim as sim;
