@@ -65,6 +65,9 @@ pub trait Scheme {
 pub enum SchemeKind {
     /// Full TnB (Thrive + BEC, two passes).
     Tnb,
+    /// TnB with the SIC rescue pass (reconstruct-and-subtract decoded
+    /// packets, re-decode the residual); an extension beyond the paper.
+    TnbSic,
     /// TnB without BEC (paper Fig. 15 "Thrive").
     Thrive,
     /// Thrive without the history cost (paper Fig. 15 "Sibling").
@@ -83,8 +86,9 @@ pub enum SchemeKind {
 
 impl SchemeKind {
     /// All schemes.
-    pub const ALL: [SchemeKind; 8] = [
+    pub const ALL: [SchemeKind; 9] = [
         SchemeKind::Tnb,
+        SchemeKind::TnbSic,
         SchemeKind::Thrive,
         SchemeKind::Sibling,
         SchemeKind::LoRaPhy,
@@ -98,6 +102,7 @@ impl SchemeKind {
     pub fn name(self) -> &'static str {
         match self {
             SchemeKind::Tnb => "TnB",
+            SchemeKind::TnbSic => "TnB+SIC",
             SchemeKind::Thrive => "Thrive",
             SchemeKind::Sibling => "Sibling",
             SchemeKind::LoRaPhy => "LoRaPHY",
@@ -112,6 +117,17 @@ impl SchemeKind {
     pub fn build(self, params: LoRaParams) -> Box<dyn Scheme> {
         match self {
             SchemeKind::Tnb => Box::new(TnbScheme::new(params, TnbConfig::default(), "TnB")),
+            SchemeKind::TnbSic => Box::new(TnbScheme::new(
+                params,
+                TnbConfig {
+                    sic: tnb_core::SicConfig {
+                        enabled: true,
+                        ..tnb_core::SicConfig::default()
+                    },
+                    ..TnbConfig::default()
+                },
+                "TnB+SIC",
+            )),
             SchemeKind::Thrive => Box::new(TnbScheme::new(
                 params,
                 TnbConfig {

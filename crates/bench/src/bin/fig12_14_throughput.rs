@@ -17,6 +17,7 @@ fn main() {
     let mut json_rows: Vec<String> = Vec::new();
     let schemes = [
         SchemeKind::Tnb,
+        SchemeKind::TnbSic,
         SchemeKind::Cic,
         SchemeKind::AlignTrack,
         SchemeKind::LoRaPhy,
@@ -60,6 +61,7 @@ fn main() {
                     let mut row = vec![format!("{load}")];
                     let mut tp = std::collections::HashMap::new();
                     let mut tnb_metrics = None;
+                    let mut sic_rescues = 0u64;
                     for run in 0..args.runs {
                         let cfg = ExperimentConfig {
                             load_pps: load,
@@ -70,9 +72,14 @@ fn main() {
                         let built = build_experiment(&cfg);
                         for kind in schemes {
                             let scheme = kind.build(params);
-                            let r = if kind == SchemeKind::Tnb && args.json_out.is_some() {
+                            let observed = matches!(kind, SchemeKind::Tnb | SchemeKind::TnbSic);
+                            let r = if observed && args.json_out.is_some() {
                                 let r = run_scheme_observed(scheme.as_ref(), &built, 1);
-                                tnb_metrics = r.stage_metrics;
+                                if kind == SchemeKind::Tnb {
+                                    tnb_metrics = r.stage_metrics;
+                                } else if let Some(rep) = &r.report {
+                                    sic_rescues += rep.second_pass_rescues as u64;
+                                }
                                 r
                             } else {
                                 run_scheme(scheme.as_ref(), &built)
@@ -100,6 +107,9 @@ fn main() {
                                     obj.push_str(",\"metrics\":");
                                     obj.push_str(&snap.to_json());
                                 }
+                            }
+                            if kind == SchemeKind::TnbSic {
+                                obj.push_str(&format!(",\"second_pass_rescues\":{sic_rescues}"));
                             }
                             obj.push('}');
                             json_rows.push(obj);

@@ -13,36 +13,39 @@ fn main() {
     let args = ExpArgs::parse();
     let load = args.loads.iter().copied().fold(0.0f64, f64::max);
     println!("Fig. 18: collision level of packets decoded by TnB at {load} pkt/s (Indoor, CR 4)\n");
-    let mut t = TablePrinter::new(["SF", "decoded", "0", "1", "2", "3", ">=4"]);
-    for sf in [SpreadingFactor::SF8, SpreadingFactor::SF10] {
-        let params = LoRaParams::new(sf, CodingRate::CR4);
-        let mut hist = [0usize; 5];
-        let mut total = 0usize;
-        for run in 0..args.runs {
-            let cfg = ExperimentConfig {
-                load_pps: load,
-                duration_s: args.duration_s,
-                seed: args.seed + run * 7000,
-                ..ExperimentConfig::new(params, Deployment::Indoor)
-            };
-            let built = build_experiment(&cfg);
-            let r = run_scheme(SchemeKind::Tnb.build(params).as_ref(), &built);
-            // Collision level within the decoded (lower-bound) subset.
-            for lv in collision_levels(&r.decoded_intervals) {
-                hist[lv.min(4)] += 1;
-                total += 1;
+    let mut t = TablePrinter::new(["scheme", "SF", "decoded", "0", "1", "2", "3", ">=4"]);
+    for kind in [SchemeKind::Tnb, SchemeKind::TnbSic] {
+        for sf in [SpreadingFactor::SF8, SpreadingFactor::SF10] {
+            let params = LoRaParams::new(sf, CodingRate::CR4);
+            let mut hist = [0usize; 5];
+            let mut total = 0usize;
+            for run in 0..args.runs {
+                let cfg = ExperimentConfig {
+                    load_pps: load,
+                    duration_s: args.duration_s,
+                    seed: args.seed + run * 7000,
+                    ..ExperimentConfig::new(params, Deployment::Indoor)
+                };
+                let built = build_experiment(&cfg);
+                let r = run_scheme(kind.build(params).as_ref(), &built);
+                // Collision level within the decoded (lower-bound) subset.
+                for lv in collision_levels(&r.decoded_intervals) {
+                    hist[lv.min(4)] += 1;
+                    total += 1;
+                }
             }
+            let pct = |k: usize| format!("{:.0}%", 100.0 * hist[k] as f64 / total.max(1) as f64);
+            t.row([
+                kind.name().to_string(),
+                format!("{}", sf.value()),
+                format!("{total}"),
+                pct(0),
+                pct(1),
+                pct(2),
+                pct(3),
+                pct(4),
+            ]);
         }
-        let pct = |k: usize| format!("{:.0}%", 100.0 * hist[k] as f64 / total.max(1) as f64);
-        t.row([
-            format!("{}", sf.value()),
-            format!("{total}"),
-            pct(0),
-            pct(1),
-            pct(2),
-            pct(3),
-            pct(4),
-        ]);
     }
     t.print();
     println!("\npaper: <15% of SF 8 decodes had no collision; most SF 10 decodes collided with 4+ packets");

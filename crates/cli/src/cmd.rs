@@ -6,7 +6,7 @@ use tnb_channel::trace::{PacketConfig, TraceBuilder};
 use tnb_channel::FaultPlan;
 use tnb_core::streaming::{StreamingConfig, StreamingReceiver};
 use tnb_core::{
-    DecodeReport, DegradeReason, MetricsSnapshot, ParallelReceiver, Stage, TnbReceiver,
+    DecodeReport, DegradeReason, MetricsSnapshot, ParallelReceiver, Stage, TnbConfig, TnbReceiver,
 };
 use tnb_phy::{CodingRate, LoRaParams, SpreadingFactor};
 use tnb_sim::traffic::parse_payload;
@@ -22,21 +22,25 @@ commands:
       synthesize a multi-node trace and write it as 16-bit I/Q (1 Msps)
 
   decode --trace FILE --sf N [--cr N] [--scheme NAME] [--workers N]
-      decode a trace file; schemes: tnb (default), thrive, sibling,
-      lora-phy, cic, cic+, aligntrack, aligntrack+. --workers N decodes
-      with N threads (TnB-family schemes only; same output, faster)
+      decode a trace file; schemes: tnb (default), tnb+sic, thrive,
+      sibling, lora-phy, cic, cic+, aligntrack, aligntrack+. --workers N
+      decodes with N threads (TnB-family schemes only; same output,
+      faster)
 
   compare --trace FILE --sf N [--cr N] [--workers N]
       decode with every scheme and print the comparison table
 
   report (--trace FILE | --demo-collision) [--sf N] [--cr N] [--seed N]
-         [--workers N] [--json]
+         [--workers N] [--sic] [--json]
       decode with the TnB pipeline and print the observability report:
       per-stage wall times, event counters and distributions.
-      --demo-collision synthesizes a seeded 3-packet SF8 collision
+      --demo-collision synthesizes a seeded 3-packet SF8 collision;
+      --sic enables the SIC rescue pass (subtract decoded packets,
+      re-decode the residual)
 
   faults (--trace FILE | --demo-collision) [--sf N] [--cr N] [--seed N]
-         [--receiver serial|parallel|streaming|all] [--workers N] [--json]
+         [--receiver serial|parallel|streaming|all] [--workers N]
+         [--sic] [--json]
       run the seeded fault-injection matrix (truncation, sample gaps,
       NaN/Inf bursts, clipping, DC offset, IQ imbalance, interferer
       bursts) against the decode pipeline and print, per fault, how
@@ -45,6 +49,7 @@ commands:
       clean row is the fault-free baseline
 
   gateway serve --addr HOST:PORT --sf N [--cr N] [--workers N] [--queue N]
+                [--sic]
       run the networked gateway daemon: framed IQ in over TCP, decoded
       packets out as JSON lines (Semtech-style rxpk objects with
       sample-clock timestamps). Stops on a client SHUTDOWN verb
@@ -88,6 +93,13 @@ impl<'a> Flags<'a> {
     fn has(&self, name: &str) -> bool {
         self.0.iter().any(|a| a == name)
     }
+}
+
+/// Receiver configuration from the shared flags (currently just `--sic`).
+fn parse_tnb_config(flags: &Flags) -> TnbConfig {
+    let mut cfg = TnbConfig::default();
+    cfg.sic.enabled = flags.has("--sic");
+    cfg
 }
 
 fn parse_params(flags: &Flags) -> Result<LoRaParams, String> {
@@ -135,6 +147,7 @@ pub fn decode(args: &[String]) -> Result<(), String> {
     let params = parse_params(&flags)?;
     let kind = match flags.get("--scheme").unwrap_or("tnb") {
         "tnb" => SchemeKind::Tnb,
+        "tnb+sic" => SchemeKind::TnbSic,
         "thrive" => SchemeKind::Thrive,
         "sibling" => SchemeKind::Sibling,
         "lora-phy" => SchemeKind::LoRaPhy,
@@ -264,10 +277,11 @@ pub fn report(args: &[String]) -> Result<(), String> {
         (params, load_trace(path).map_err(|e| e.to_string())?)
     };
     let workers: usize = flags.parse_or("--workers", 1usize)?.max(1);
+    let cfg = parse_tnb_config(&flags);
     let (decoded, report, snapshot) = if workers > 1 {
-        ParallelReceiver::new(params, workers).decode_with_metrics(&samples)
+        ParallelReceiver::with_config(params, cfg, workers).decode_with_metrics(&samples)
     } else {
-        TnbReceiver::new(params).decode_with_metrics(&samples)
+        TnbReceiver::with_config(params, cfg).decode_with_metrics(&samples)
     };
 
     if flags.has("--json") {
@@ -338,16 +352,19 @@ struct FaultRow {
 fn decode_flavour(
     flavour: &'static str,
     params: LoRaParams,
+    cfg: TnbConfig,
     workers: usize,
     samples: &[tnb_dsp::Complex32],
 ) -> (usize, DecodeReport) {
     match flavour {
         "parallel" => {
-            let (d, r, _) = ParallelReceiver::new(params, workers).decode_with_metrics(samples);
+            let (d, r, _) =
+                ParallelReceiver::with_config(params, cfg, workers).decode_with_metrics(samples);
             (d.len(), r)
         }
         "streaming" => {
             let cfg = StreamingConfig {
+                receiver: cfg,
                 workers,
                 ..Default::default()
             };
@@ -360,7 +377,7 @@ fn decode_flavour(
             (n, rx.report())
         }
         _ => {
-            let (d, r, _) = TnbReceiver::new(params).decode_with_metrics(samples);
+            let (d, r, _) = TnbReceiver::with_config(params, cfg).decode_with_metrics(samples);
             (d.len(), r)
         }
     }
@@ -430,11 +447,12 @@ pub fn faults(args: &[String]) -> Result<(), String> {
     };
 
     let matrix = FaultPlan::matrix(seed);
+    let cfg = parse_tnb_config(&flags);
     let mut rows = Vec::new();
     for flavour in &flavours {
         for (name, plan) in &matrix {
             let faulty = plan.apply(&base);
-            let (decoded, report) = decode_flavour(flavour, params, workers, &faulty);
+            let (decoded, report) = decode_flavour(flavour, params, cfg, workers, &faulty);
             rows.push(FaultRow {
                 receiver: flavour,
                 fault: name,
@@ -540,6 +558,7 @@ fn gateway_serve(args: &[String]) -> Result<(), String> {
     let cfg = tnb_gateway::GatewayConfig {
         params,
         streaming: StreamingConfig {
+            receiver: parse_tnb_config(&flags),
             workers,
             ..StreamingConfig::default()
         },
@@ -748,6 +767,7 @@ mod tests {
             "\"sigcalc\"",
             "\"thrive\"",
             "\"bec\"",
+            "\"sic\"",
             "\"timings_ns\"",
             "\"stage_counters\"",
             "\"matching_cost_milli\"",

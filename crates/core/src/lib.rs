@@ -9,6 +9,7 @@ pub mod detect;
 pub mod packet;
 pub mod parallel;
 pub mod receiver;
+pub mod sic;
 pub mod sigcalc;
 pub mod streaming;
 pub mod sync;
@@ -22,5 +23,6 @@ pub use detect::{Detector, DetectorConfig};
 pub use packet::{same_transmission, DecodedPacket, DetectedPacket};
 pub use parallel::ParallelReceiver;
 pub use receiver::{DecodeOutcome, DecodeReport, DegradeReason, TnbConfig, TnbReceiver};
+pub use sic::SicConfig;
 pub use streaming::{StreamingConfig, StreamingReceiver};
 pub use tnb_metrics::{MetricsSnapshot, PipelineMetrics, Stage, StageCounters};

@@ -58,8 +58,9 @@ pub struct DecodedPacket {
     /// Codewords rescued by BEC (0 when the default decoder would have
     /// decoded the same packet) — the paper's Fig. 16 metric.
     pub rescued_codewords: usize,
-    /// Which decode pass succeeded (1 or 2; paper §4: failed packets are
-    /// re-examined a second time with known peaks masked).
+    /// Which decode pass succeeded: 1, 2 (paper §4: failed packets are
+    /// re-examined with known peaks masked), or 3 (SIC rescue: decoded on
+    /// the residual after subtracting reconstructed packets).
     pub pass: u8,
 }
 

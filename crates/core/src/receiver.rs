@@ -5,7 +5,8 @@
 
 use crate::bec;
 use crate::detect::{merge_dedup, Detector, DetectorConfig};
-use crate::packet::{DecodedPacket, DetectedPacket};
+use crate::packet::{same_transmission, DecodedPacket, DetectedPacket};
+use crate::sic::{self, SicConfig};
 use crate::sigcalc::{estimate_snr_db, SigCalc};
 use crate::thrive::{
     assign_checkpoint_scratch, Assignment, CheckpointScratch, CheckpointSymbol, HistoryModel,
@@ -43,6 +44,9 @@ pub struct TnbConfig {
     /// then fails the CRC. The default is far above anything a clean
     /// trace generates, so normal decodes are unaffected.
     pub bec_candidate_budget: usize,
+    /// SIC rescue pass: reconstruct and subtract decoded packets, then
+    /// re-run detection and Thrive/BEC on the residual (off by default).
+    pub sic: SicConfig,
 }
 
 impl Default for TnbConfig {
@@ -54,6 +58,7 @@ impl Default for TnbConfig {
             two_pass: true,
             noise_power: Some(1.0),
             bec_candidate_budget: 100_000,
+            sic: SicConfig::default(),
         }
     }
 }
@@ -125,7 +130,8 @@ pub enum DecodeOutcome {
     Decoded {
         /// Detected packet start (fractional sample index).
         start: f64,
-        /// Decoding pass (1 or 2) that succeeded.
+        /// Decoding pass that succeeded: 1, 2 (masked re-decode), or 3
+        /// (SIC rescue on the subtraction residual).
         pass: u8,
     },
     /// Detected but not decoded.
@@ -145,7 +151,8 @@ pub struct DecodeReport {
     pub detected: usize,
     /// Packets whose payload passed the CRC.
     pub decoded: usize,
-    /// Packets decoded only in the second pass (after masking).
+    /// Packets decoded only after the first pass: by the masked second
+    /// pass (`pass = 2`) or by the SIC rescue pass (`pass = 3`).
     pub second_pass_rescues: usize,
     /// Packets whose PHY header never decoded.
     pub header_failures: usize,
@@ -439,42 +446,7 @@ impl TnbReceiver {
         let mut tracked: Vec<Tracked> = detected
             .iter()
             .enumerate()
-            .map(|(id, det)| {
-                let heights = sig.preamble_heights(id, det);
-                let data_start = sig.symbol_start(det, 0);
-                // SNR estimate from a preamble window (peak near bin 0).
-                let snr_db = sig
-                    .symbol_vector(id, det, -12)
-                    .map(|v| {
-                        let n = v.len();
-                        let peak_bin = (0..n).max_by(|&a, &b| v[a].total_cmp(&v[b])).unwrap_or(0);
-                        match self.cfg.noise_power {
-                            Some(np) => crate::sigcalc::snr_from_peak_db(
-                                v[peak_bin],
-                                self.params.samples_per_symbol(),
-                                np,
-                            ),
-                            None => estimate_snr_db(v, peak_bin, self.params.samples_per_symbol()),
-                        }
-                    })
-                    .unwrap_or(f32::NEG_INFINITY);
-                Tracked {
-                    det: *det,
-                    data_start,
-                    n_symbols: None,
-                    values: vec![None; LoRaParams::HEADER_SYMBOLS],
-                    history: HistoryModel::new(heights),
-                    header: None,
-                    status: Status::Active,
-                    snr_db,
-                    rescued: 0,
-                    pass: 1,
-                    decoded_payload: Vec::new(),
-                    known_symbols: None,
-                    failure: Failure::None,
-                    bec_budget_hit: false,
-                }
-            })
+            .map(|(id, det)| self.new_tracked(&mut sig, id, det))
             .collect();
 
         // Pass 1: everything participates; known peaks are the preambles.
@@ -513,6 +485,23 @@ impl TnbReceiver {
 
         counters.sigcalc_vectors += sig.vectors_computed();
         drop(sig);
+
+        if self.cfg.sic.enabled && !tracked.is_empty() {
+            let t0 = metrics.now();
+            self.run_sic_rescue(
+                &mut tracked,
+                demod,
+                antennas,
+                scratch,
+                metrics,
+                &mut counters,
+            );
+            metrics.record_span(Stage::Sic, t0);
+            // Rescued packets append out of order; restore start order so
+            // outcome lists stay position-stable across receiver flavours.
+            tracked.sort_by(|a, b| a.det.start.total_cmp(&b.det.start));
+        }
+
         if metrics.is_enabled() {
             let (hits, misses) = scratch.pool_stats();
             metrics.pool_hits.add(hits - pool_before.0);
@@ -547,7 +536,7 @@ impl TnbReceiver {
                 .count(),
             second_pass_rescues: tracked
                 .iter()
-                .filter(|t| t.status == Status::Decoded && t.pass == 2)
+                .filter(|t| t.status == Status::Decoded && t.pass >= 2)
                 .count(),
             header_failures: tracked
                 .iter()
@@ -590,6 +579,328 @@ impl TnbReceiver {
             })
             .collect();
         (decoded, report)
+    }
+
+    /// Builds the tracking entry for a freshly detected packet: preamble
+    /// heights seed the history model and a preamble window provides the
+    /// SNR estimate. `id` must be the entry's index in the vector the
+    /// caller is building (it keys `sig`'s per-packet caches).
+    fn new_tracked(&self, sig: &mut SigCalc<'_>, id: usize, det: &DetectedPacket) -> Tracked {
+        let heights = sig.preamble_heights(id, det);
+        let data_start = sig.symbol_start(det, 0);
+        // SNR estimate from a preamble window (peak near bin 0).
+        let snr_db = sig
+            .symbol_vector(id, det, -12)
+            .map(|v| {
+                let n = v.len();
+                let peak_bin = (0..n).max_by(|&a, &b| v[a].total_cmp(&v[b])).unwrap_or(0);
+                match self.cfg.noise_power {
+                    Some(np) => crate::sigcalc::snr_from_peak_db(
+                        v[peak_bin],
+                        self.params.samples_per_symbol(),
+                        np,
+                    ),
+                    None => estimate_snr_db(v, peak_bin, self.params.samples_per_symbol()),
+                }
+            })
+            .unwrap_or(f32::NEG_INFINITY);
+        Tracked {
+            det: *det,
+            data_start,
+            n_symbols: None,
+            values: vec![None; LoRaParams::HEADER_SYMBOLS],
+            history: HistoryModel::new(heights),
+            header: None,
+            status: Status::Active,
+            snr_db,
+            rescued: 0,
+            pass: 1,
+            decoded_payload: Vec::new(),
+            known_symbols: None,
+            failure: Failure::None,
+            bec_budget_hit: false,
+        }
+    }
+
+    /// The SIC rescue pass (runs after both Thrive/BEC passes when
+    /// [`SicConfig::enabled`] is set). Within each overlap component that
+    /// contains at least one decoded packet: reconstruct every decoded
+    /// packet's waveform from its known symbols, estimate per-block
+    /// complex gains against a residual copy of the component's IQ span,
+    /// subtract, then re-run detection and the full Thrive/BEC pipeline
+    /// on the residual. Rescues are recorded with `pass = 3`; entries
+    /// that still fail keep their original failure, and re-detections
+    /// that fail to decode are dropped — so a trace where no rescue fires
+    /// decodes bit-identically to SIC-off.
+    ///
+    /// Determinism across receiver flavours: components are refinements
+    /// of the parallel receiver's overlap clusters (actual packet extents
+    /// are always inside the cluster horizon), every window bound derives
+    /// from the component's own members, the re-detection scan stops one
+    /// symbol past the component (a foreign preamble can contribute at
+    /// most ~4.5 symbols of run, below the detector's minimum), and the
+    /// residual is copied from the original trace — which serial and
+    /// parallel receivers see identically.
+    fn run_sic_rescue(
+        &self,
+        tracked: &mut Vec<Tracked>,
+        demod: &tnb_phy::demodulate::Demodulator,
+        antennas: &[&[Complex32]],
+        scratch: &mut DspScratch,
+        metrics: &PipelineMetrics,
+        counters: &mut StageCounters,
+    ) {
+        let l = self.params.samples_per_symbol() as i64;
+        let trace_len = antennas.iter().map(|a| a.len()).min().unwrap_or(0) as i64;
+        let pre = self.params.preamble_samples() as i64;
+        let max_extent = {
+            let mut p = self.params;
+            p.cr = tnb_phy::params::CodingRate::CR4;
+            pre + block::data_symbol_count(255, &p) as i64 * l
+        };
+        // A packet's occupied span ends after its payload if the length is
+        // known, else after the (CR4) header.
+        let end_of = |t: &Tracked| {
+            t.data_start + t.n_symbols.unwrap_or(LoRaParams::HEADER_SYMBOLS) as i64 * l
+        };
+
+        // Overlap components over the start-sorted entries: spans joined
+        // when they come within one symbol of each other (the same margin
+        // known-peak masks use).
+        let mut comps: Vec<(usize, usize)> = Vec::new();
+        let mut begin = 0usize;
+        let mut max_end = i64::MIN;
+        for (i, t) in tracked.iter().enumerate() {
+            let s = t.det.start.floor() as i64;
+            if i > begin && s > max_end + l {
+                comps.push((begin, i));
+                begin = i;
+                max_end = i64::MIN;
+            }
+            max_end = max_end.max(end_of(t));
+        }
+        if begin < tracked.len() {
+            comps.push((begin, tracked.len()));
+        }
+
+        let detector = Detector::with_config(self.params, self.cfg.detector);
+        let mut replica: Vec<Complex32> = Vec::new();
+        let mut gains: Vec<Vec<(f64, f64)>> = vec![Vec::new(); antennas.len()];
+        let noise = f64::from(self.cfg.noise_power.unwrap_or(1.0).max(f32::MIN_POSITIVE));
+
+        for (c_begin, c_end) in comps {
+            let mut members: Vec<usize> = (c_begin..c_end).collect();
+            // Window bounds are fixed from the component's original
+            // members: the residual buffer reaches far enough for a rescue
+            // detected anywhere in the scan range to decode in full, while
+            // the scan range itself stays inside the component.
+            let comp_min = members
+                .iter()
+                .map(|&i| tracked[i].det.start.floor() as i64)
+                .min()
+                .unwrap_or(0);
+            let comp_max_end = members
+                .iter()
+                .map(|&i| end_of(&tracked[i]))
+                .max()
+                .unwrap_or(0);
+            let r_lo = (comp_min - pre - l).max(0);
+            let scan_hi = (comp_max_end + l).clamp(r_lo, trace_len);
+            let r_hi = (comp_max_end + l + max_extent).clamp(scan_hi, trace_len);
+            if r_hi <= r_lo {
+                continue;
+            }
+            for _ in 0..self.cfg.sic.max_rounds {
+                let decoded_members: Vec<usize> = members
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        tracked[i].status == Status::Decoded && tracked[i].known_symbols.is_some()
+                    })
+                    .collect();
+                if decoded_members.is_empty() {
+                    break;
+                }
+                counters.sic_rounds += 1;
+
+                // Residual: a fresh copy of the component's span of every
+                // antenna (each round restarts from the original trace so
+                // gain estimates never compound).
+                let mut residuals: Vec<Vec<Complex32>> = antennas
+                    .iter()
+                    .map(|a| {
+                        a.get(r_lo as usize..r_hi as usize)
+                            .map(<[Complex32]>::to_vec)
+                            .unwrap_or_default()
+                    })
+                    .collect();
+                if residuals.iter().any(Vec::is_empty) {
+                    break;
+                }
+
+                // Subtract every decoded member whose replica matches the
+                // trace with enough power to clear the SNR gate.
+                for &mi in &decoded_members {
+                    let Some(symbols) = tracked[mi].known_symbols.clone() else {
+                        continue;
+                    };
+                    let start = tracked[mi].det.start;
+                    let start_floor = start.floor();
+                    sic::build_replica(
+                        demod,
+                        &symbols,
+                        tracked[mi].det.cfo_cycles,
+                        start - start_floor,
+                        &mut replica,
+                    );
+                    let offset = start_floor as i64 - r_lo;
+                    let mut best_power = 0.0f64;
+                    for (a, res) in residuals.iter().enumerate() {
+                        sic::estimate_block_gains(res, &replica, offset, l as usize, &mut gains[a]);
+                        best_power = best_power.max(sic::mean_gain_power(&gains[a]));
+                    }
+                    let snr_db = 10.0 * (best_power / noise).max(1e-12).log10();
+                    if snr_db < f64::from(self.cfg.sic.min_residual_snr) {
+                        counters.sic_skipped += 1;
+                        continue;
+                    }
+                    for (a, res) in residuals.iter_mut().enumerate() {
+                        sic::subtract_replica(res, &replica, offset, l as usize, &gains[a]);
+                    }
+                    counters.sic_subtracted += 1;
+                }
+
+                // Re-detect on the residual, restricted to the component's
+                // own span so another component's (unsubtracted) packets
+                // cannot be picked up.
+                let scan_len = (scan_hi - r_lo) as usize;
+                let mut new_dets: Vec<DetectedPacket> = Vec::new();
+                for res in &residuals {
+                    let Some(slice) = res.get(..scan_len.min(res.len())) else {
+                        continue;
+                    };
+                    for p in detector.detect_observed(slice, scratch, metrics, counters) {
+                        if merge_dedup(&mut new_dets, p, l as f64) {
+                            counters.detect_duplicates += 1;
+                        }
+                    }
+                }
+                new_dets.sort_by(|a, b| a.start.total_cmp(&b.start));
+                new_dets.retain(|d| {
+                    !members.iter().any(|&i| {
+                        same_transmission(
+                            tracked[i].det.start,
+                            tracked[i].det.cfo_cycles,
+                            d.start + r_lo as f64,
+                            d.cfo_cycles,
+                            l as f64,
+                        )
+                    })
+                });
+                counters.sic_redetections += new_dets.len() as u64;
+
+                // Decode the residual in its own (window-relative) frame:
+                // decoded members ride along as mask-only entries so their
+                // subtraction residue stays masked, failed members retry
+                // with any header they already decoded, and re-detections
+                // start fresh.
+                let resid_refs: Vec<&[Complex32]> = residuals.iter().map(Vec::as_slice).collect();
+                let mut sig = SigCalc::observed(demod, &resid_refs, scratch, Some(metrics));
+                let mut temp: Vec<Tracked> = Vec::new();
+                // `Some(i)` maps a temp entry back to `tracked[i]`; `None`
+                // marks a fresh re-detection.
+                let mut origin: Vec<Option<usize>> = Vec::new();
+                for &mi in &members {
+                    let t = &tracked[mi];
+                    let det = DetectedPacket {
+                        start: t.det.start - r_lo as f64,
+                        cfo_cycles: t.det.cfo_cycles,
+                        preamble_peak: t.det.preamble_peak,
+                    };
+                    if t.status == Status::Decoded {
+                        temp.push(Tracked {
+                            det,
+                            data_start: t.data_start - r_lo,
+                            n_symbols: t.n_symbols,
+                            values: Vec::new(),
+                            history: HistoryModel::new(Vec::new()),
+                            header: None,
+                            status: Status::Decoded,
+                            snr_db: t.snr_db,
+                            rescued: 0,
+                            pass: t.pass,
+                            decoded_payload: Vec::new(),
+                            known_symbols: t.known_symbols.clone(),
+                            failure: Failure::None,
+                            bec_budget_hit: false,
+                        });
+                    } else {
+                        let id = temp.len();
+                        let mut fresh = self.new_tracked(&mut sig, id, &det);
+                        // Keep a header decoded in an earlier pass (and the
+                        // implied length), like pass 2 does.
+                        if t.header.is_some() {
+                            fresh.header = t.header.clone();
+                            fresh.n_symbols = t.n_symbols;
+                            if let Some(n) = t.n_symbols {
+                                fresh.values.resize(n, None);
+                            }
+                        }
+                        fresh.pass = 3;
+                        temp.push(fresh);
+                    }
+                    origin.push(Some(mi));
+                }
+                for d in &new_dets {
+                    let id = temp.len();
+                    let mut fresh = self.new_tracked(&mut sig, id, d);
+                    fresh.pass = 3;
+                    temp.push(fresh);
+                    origin.push(None);
+                }
+
+                self.run_pass(&mut sig, &mut temp, r_hi - r_lo, 1, metrics, counters);
+                counters.sigcalc_vectors += sig.vectors_computed();
+                drop(sig);
+
+                let mut rescued_any = false;
+                for (mut t2, src) in temp.into_iter().zip(origin) {
+                    if t2.status != Status::Decoded {
+                        continue;
+                    }
+                    match src {
+                        Some(mi) => {
+                            if tracked[mi].status == Status::Decoded {
+                                continue; // mask-only ride-along
+                            }
+                            let tr = &mut tracked[mi];
+                            tr.status = Status::Decoded;
+                            tr.pass = 3;
+                            tr.n_symbols = t2.n_symbols;
+                            tr.header = t2.header;
+                            tr.decoded_payload = t2.decoded_payload;
+                            tr.known_symbols = t2.known_symbols;
+                            tr.rescued = t2.rescued;
+                            tr.snr_db = t2.snr_db;
+                            tr.failure = Failure::None;
+                            counters.sic_rescues += 1;
+                            rescued_any = true;
+                        }
+                        None => {
+                            t2.det.start += r_lo as f64;
+                            t2.data_start += r_lo;
+                            counters.sic_rescues += 1;
+                            members.push(tracked.len());
+                            tracked.push(t2);
+                            rescued_any = true;
+                        }
+                    }
+                }
+                if !rescued_any {
+                    break;
+                }
+            }
+        }
     }
 
     fn run_pass(

@@ -131,8 +131,10 @@ impl StreamingReceiver {
         let out = self.process();
         // Keep enough overlap that any packet starting inside the kept
         // region is seen whole next time (one maximal packet plus one
-        // preamble of slack).
-        let keep = 2 * self.max_packet_samples;
+        // preamble of slack). With SIC enabled the rescue window extends
+        // one extra maximal packet past a decoded collider, so retain
+        // one more airtime of overlap.
+        let keep = (2 + usize::from(self.cfg.receiver.sic.enabled)) * self.max_packet_samples;
         if self.buffer.len() > keep {
             let drop = self.buffer.len() - keep;
             self.buffer.drain(..drop);
@@ -161,9 +163,24 @@ impl StreamingReceiver {
         if self.buffer.is_empty() {
             return Vec::new();
         }
-        let (decoded, report) = self
+        let (decoded, mut report) = self
             .rx
             .decode_multi_report_observed(&[&self.buffer], &self.metrics);
+        // A rescue that was already emitted from a previous window gets
+        // re-decoded from the retained overlap; drop those duplicates
+        // from the rescue tally before absorbing so the cumulative
+        // report counts each rescued transmission once per stream.
+        let dup_rescues = decoded
+            .iter()
+            .filter(|d| d.pass >= 2)
+            .filter(|d| {
+                let absolute = self.base as f64 + d.start;
+                self.emitted.iter().any(|&(s, c)| {
+                    same_transmission(s, c, absolute, d.cfo_cycles, self.samples_per_symbol)
+                })
+            })
+            .count();
+        report.second_pass_rescues = report.second_pass_rescues.saturating_sub(dup_rescues);
         self.report.absorb(&report);
         let mut out = Vec::new();
         for mut d in decoded {

@@ -8,7 +8,7 @@
 use tnb_channel::trace::{PacketConfig, TraceBuilder};
 use tnb_channel::FaultPlan;
 use tnb_core::streaming::{StreamingConfig, StreamingReceiver};
-use tnb_core::{DecodeReport, ParallelReceiver, TnbReceiver};
+use tnb_core::{DecodeReport, ParallelReceiver, SicConfig, TnbConfig, TnbReceiver};
 use tnb_dsp::Complex32;
 use tnb_phy::{CodingRate, LoRaParams, SpreadingFactor};
 
@@ -46,9 +46,45 @@ fn collision_trace() -> Vec<Complex32> {
     b.build().samples().to_vec()
 }
 
+fn sic_cfg() -> TnbConfig {
+    TnbConfig {
+        sic: SicConfig {
+            enabled: true,
+            ..SicConfig::default()
+        },
+        ..TnbConfig::default()
+    }
+}
+
 fn serial_decode(samples: &[Complex32]) -> (Vec<Vec<u8>>, DecodeReport) {
     let (d, r, _) = TnbReceiver::new(params()).decode_with_metrics(samples);
     (d.into_iter().map(|p| p.payload).collect(), r)
+}
+
+fn serial_decode_sic(samples: &[Complex32]) -> (Vec<Vec<u8>>, DecodeReport) {
+    let (d, r, _) = TnbReceiver::with_config(params(), sic_cfg()).decode_with_metrics(samples);
+    (d.into_iter().map(|p| p.payload).collect(), r)
+}
+
+fn parallel_decode_sic(samples: &[Complex32]) -> (Vec<Vec<u8>>, DecodeReport) {
+    let (d, r, _) =
+        ParallelReceiver::with_config(params(), sic_cfg(), 3).decode_with_metrics(samples);
+    (d.into_iter().map(|p| p.payload).collect(), r)
+}
+
+fn streaming_decode_sic(samples: &[Complex32]) -> (Vec<Vec<u8>>, DecodeReport) {
+    let cfg = StreamingConfig {
+        receiver: sic_cfg(),
+        workers: 2,
+        ..Default::default()
+    };
+    let mut rx = StreamingReceiver::with_config(params(), cfg);
+    let mut out = Vec::new();
+    for chunk in samples.chunks(50_000) {
+        out.extend(rx.push(chunk).into_iter().map(|p| p.payload));
+    }
+    out.extend(rx.finish().into_iter().map(|p| p.payload));
+    (out, rx.report())
 }
 
 fn parallel_decode(samples: &[Complex32]) -> (Vec<Vec<u8>>, DecodeReport) {
@@ -132,6 +168,50 @@ fn no_receiver_panics_on_any_fault_parallel() {
 #[test]
 fn no_receiver_panics_on_any_fault_streaming() {
     run_matrix("streaming", streaming_decode);
+}
+
+#[test]
+fn no_receiver_panics_on_any_fault_serial_sic() {
+    run_matrix("serial+sic", serial_decode_sic);
+}
+
+#[test]
+fn no_receiver_panics_on_any_fault_parallel_sic() {
+    run_matrix("parallel+sic", parallel_decode_sic);
+}
+
+#[test]
+fn no_receiver_panics_on_any_fault_streaming_sic() {
+    run_matrix("streaming+sic", streaming_decode_sic);
+}
+
+/// With SIC enabled but no rescue firing, every matrix row must decode
+/// bit-identically to SIC-off: failed re-detections are dropped and
+/// decoded packets keep their original pass labels, so the rescue pass is
+/// invisible unless it actually rescues something.
+#[test]
+fn sic_rows_match_sic_off_when_no_rescue_fires() {
+    let base = collision_trace();
+    for (name, plan) in FaultPlan::matrix(SEED) {
+        let faulty = plan.apply(&base);
+        let (off_payloads, off_report) = serial_decode(&faulty);
+        let (on_payloads, on_report) = serial_decode_sic(&faulty);
+        if on_report.stages.sic_rescues == 0 {
+            assert_eq!(on_payloads, off_payloads, "{name}: payloads");
+            assert_eq!(
+                on_report.outcomes_json(),
+                off_report.outcomes_json(),
+                "{name}: outcomes"
+            );
+            assert_eq!(
+                on_report.second_pass_rescues, off_report.second_pass_rescues,
+                "{name}: rescue tally"
+            );
+        } else {
+            // A rescue may only ever add packets, never lose one.
+            assert!(on_payloads.len() >= off_payloads.len(), "{name}");
+        }
+    }
 }
 
 fn run_matrix(kind: &str, decode: DecodeFn) {

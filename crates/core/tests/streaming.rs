@@ -145,6 +145,80 @@ fn receiver_reusable_after_finish() {
     assert!(rx.report().decoded >= 4, "{:?}", rx.report());
 }
 
+/// Regression (satellite of the SIC PR): a rescue decoded in a push
+/// window and re-decoded from the retained overlap at `finish` must be
+/// counted once in the cumulative report, and a reused receiver must
+/// count one rescue per stream — not one per overlapping window.
+#[test]
+fn reused_receiver_counts_rescues_once_per_stream() {
+    let p = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+    let l = p.samples_per_symbol();
+    let cfg = tnb_core::StreamingConfig {
+        receiver: tnb_core::TnbConfig {
+            sic: tnb_core::SicConfig {
+                enabled: true,
+                ..tnb_core::SicConfig::default()
+            },
+            ..tnb_core::TnbConfig::default()
+        },
+        workers: 2,
+        ..Default::default()
+    };
+    let max_packet = tnb_phy::Transmitter::new(p).packet_samples(cfg.max_payload);
+    let window = cfg.window_factor * max_packet;
+    let airtime = tnb_phy::Transmitter::new(p).packet_samples(16);
+    // Near-far pair near the end of the first processing window: rescued
+    // by the push-triggered decode, then re-decoded from the retained
+    // overlap when `finish` flushes.
+    let strong_start = window - 2 * airtime;
+    let weak_payload: Vec<u8> = vec![0x57; 16];
+    let strong_payload: Vec<u8> = vec![0xA5; 16];
+    let mut b = TraceBuilder::new(p, 46);
+    b.add_packet(
+        &strong_payload,
+        PacketConfig {
+            start_sample: strong_start,
+            snr_db: 18.0,
+            cfo_hz: -1_800.0,
+            frac_delay: 0.41,
+            node_id: 1,
+            ..Default::default()
+        },
+    );
+    b.add_packet(
+        &weak_payload,
+        PacketConfig {
+            start_sample: strong_start + 3 * l + l / 3,
+            snr_db: 3.0,
+            cfo_hz: 2_400.0,
+            frac_delay: 0.73,
+            node_id: 2,
+            ..Default::default()
+        },
+    );
+    b.set_min_len(window + airtime);
+    let trace = b.build();
+
+    let mut rx = tnb_core::StreamingReceiver::with_config(p, cfg);
+    for round in 1..=2usize {
+        let mut got = Vec::new();
+        for c in trace.samples().chunks(60_000) {
+            got.extend(rx.push(c).into_iter().map(|d| d.payload));
+        }
+        got.extend(rx.finish().into_iter().map(|d| d.payload));
+        assert!(
+            got.contains(&weak_payload) && got.contains(&strong_payload),
+            "round {round}: {got:?}"
+        );
+        assert_eq!(got.len(), 2, "round {round}: each packet exactly once");
+        assert_eq!(
+            rx.report().second_pass_rescues,
+            round,
+            "round {round}: one rescue per stream, not per window"
+        );
+    }
+}
+
 #[test]
 fn absolute_starts_reported() {
     let (trace, _) = build_trace(33, 3);

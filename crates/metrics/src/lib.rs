@@ -25,8 +25,9 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// The five pipeline stages of the TnB receiver (paper Fig. 3, with
-/// detection split from the fractional synchronization it ends in).
+/// The pipeline stages of the TnB receiver (paper Fig. 3, with detection
+/// split from the fractional synchronization it ends in, plus the SIC
+/// rescue pass that reconstructs and subtracts decoded packets).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Stage {
     /// Preamble scan and whole-symbol validation (detection steps 1–3).
@@ -39,16 +40,21 @@ pub enum Stage {
     Thrive,
     /// Block error correction and packet CRC gating.
     Bec,
+    /// SIC rescue: replica reconstruction, subtraction and residual
+    /// re-decode. The recorded span is inclusive of the nested
+    /// detect/SigCalc/Thrive/BEC work of the residual decode.
+    Sic,
 }
 
 impl Stage {
     /// All stages, in pipeline order.
-    pub const ALL: [Stage; 5] = [
+    pub const ALL: [Stage; 6] = [
         Stage::Detect,
         Stage::Sync,
         Stage::SigCalc,
         Stage::Thrive,
         Stage::Bec,
+        Stage::Sic,
     ];
 
     /// Stable lowercase name (used as the JSON key).
@@ -59,6 +65,7 @@ impl Stage {
             Stage::SigCalc => "sigcalc",
             Stage::Thrive => "thrive",
             Stage::Bec => "bec",
+            Stage::Sic => "sic",
         }
     }
 
@@ -69,6 +76,7 @@ impl Stage {
             Stage::SigCalc => 2,
             Stage::Thrive => 3,
             Stage::Bec => 4,
+            Stage::Sic => 5,
         }
     }
 }
@@ -333,6 +341,16 @@ pub struct StageCounters {
     pub crc_fail: u64,
     /// Payload decodes that hit the per-packet BEC candidate budget.
     pub bec_budget_exhausted: u64,
+    /// SIC rescue rounds executed (per overlap component).
+    pub sic_rounds: u64,
+    /// Decoded-packet replicas subtracted from the IQ buffer.
+    pub sic_subtracted: u64,
+    /// Replica subtractions skipped by the residual-SNR gate.
+    pub sic_skipped: u64,
+    /// Packets newly detected on a post-subtraction residual.
+    pub sic_redetections: u64,
+    /// Packets decoded only by the SIC rescue pass.
+    pub sic_rescues: u64,
 }
 
 impl StageCounters {
@@ -355,6 +373,11 @@ impl StageCounters {
         self.crc_pass += other.crc_pass;
         self.crc_fail += other.crc_fail;
         self.bec_budget_exhausted += other.bec_budget_exhausted;
+        self.sic_rounds += other.sic_rounds;
+        self.sic_subtracted += other.sic_subtracted;
+        self.sic_skipped += other.sic_skipped;
+        self.sic_redetections += other.sic_redetections;
+        self.sic_rescues += other.sic_rescues;
     }
 
     /// The counters belonging to `stage`, as (name, value) pairs — the
@@ -386,6 +409,13 @@ impl StageCounters {
                 ("crc_fail", self.crc_fail),
                 ("budget_exhausted", self.bec_budget_exhausted),
             ],
+            Stage::Sic => vec![
+                ("rounds", self.sic_rounds),
+                ("subtracted", self.sic_subtracted),
+                ("skipped", self.sic_skipped),
+                ("redetections", self.sic_redetections),
+                ("rescues", self.sic_rescues),
+            ],
         }
     }
 }
@@ -398,7 +428,7 @@ impl StageCounters {
 pub struct PipelineMetrics {
     enabled: bool,
     /// Per-stage wall time in nanoseconds, one histogram per [`Stage`].
-    wall: [Histogram; 5],
+    wall: [Histogram; 6],
     /// Thrive matching costs in milli-units (cost × 1000).
     pub matching_cost_milli: Histogram,
     /// BEC candidate-set sizes per block-decode call.
@@ -510,7 +540,7 @@ impl PipelineMetrics {
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MetricsSnapshot {
     /// Wall-time summaries indexed like [`Stage::ALL`].
-    pub stage_wall_ns: [HistogramSnapshot; 5],
+    pub stage_wall_ns: [HistogramSnapshot; 6],
     /// Thrive matching-cost distribution (milli-units).
     pub matching_cost_milli: HistogramSnapshot,
     /// BEC candidate-set-size distribution.
@@ -713,9 +743,9 @@ mod tests {
         assert_eq!(a.detect_windows, 15);
         assert_eq!(a.crc_fail, 2);
         // Every stage exposes at least one named counter, and every field
-        // belongs to exactly one stage (3+2+1+5+6 = 17 fields).
+        // belongs to exactly one stage (3+2+1+5+6+5 = 22 fields).
         let total: usize = Stage::ALL.iter().map(|s| a.stage_fields(*s).len()).sum();
-        assert_eq!(total, 17);
+        assert_eq!(total, 22);
     }
 
     #[test]
