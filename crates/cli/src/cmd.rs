@@ -22,10 +22,14 @@ commands:
       synthesize a multi-node trace and write it as 16-bit I/Q (1 Msps)
 
   decode --trace FILE --sf N [--cr N] [--scheme NAME] [--workers N]
+         [--wideband]
       decode a trace file; schemes: tnb (default), tnb+sic, thrive,
       sibling, lora-phy, cic, cic+, aligntrack, aligntrack+. --workers N
       decodes with N threads (TnB-family schemes only; same output,
-      faster)
+      faster). --wideband treats the trace as one wideband capture
+      spanning 8 LoRa uplink channels: a polyphase channelizer splits
+      it and every channel is decoded with its own streaming receiver
+      (tnb scheme only)
 
   compare --trace FILE --sf N [--cr N] [--workers N]
       decode with every scheme and print the comparison table
@@ -56,8 +60,10 @@ commands:
 
   gateway send --addr HOST:PORT (--trace FILE | --demo-collision)
                [--sf N] [--cr N] [--seed N] [--stream N] [--chunk N]
-               [--stats] [--shutdown]
-      stream a trace to a running daemon and print its uplink lines
+               [--wideband] [--stats] [--shutdown]
+      stream a trace to a running daemon and print its uplink lines.
+      --wideband marks every DATA frame with the WIDEBAND flag so the
+      daemon channelizes the stream into 8 uplink channels first
 
   gateway bench [--sf N] [--cr N] [--workers N,M] [--streams N]
                 [--packets N] [--seed N] [--json]
@@ -159,6 +165,12 @@ pub fn decode(args: &[String]) -> Result<(), String> {
     };
     let workers: usize = flags.parse_or("--workers", 1usize)?;
     let samples = load_trace(path).map_err(|e| e.to_string())?;
+    if flags.has("--wideband") {
+        if !matches!(kind, SchemeKind::Tnb) {
+            return Err("--wideband supports only the tnb scheme (streaming pipeline)".into());
+        }
+        return decode_wideband(params, &samples, workers.max(1));
+    }
     let scheme = kind.build(params);
     let decoded = scheme.decode_with_workers(&[&samples], workers.max(1));
 
@@ -175,6 +187,51 @@ pub fn decode(args: &[String]) -> Result<(), String> {
         );
     }
     println!("- {} decoded {} pkts -", scheme.name(), decoded.len());
+    Ok(())
+}
+
+/// `tnb-cli decode --wideband`: split one wideband capture into its
+/// LoRa uplink channels with the polyphase channelizer and decode each
+/// channel with its own streaming receiver.
+fn decode_wideband(
+    params: LoRaParams,
+    samples: &[tnb_dsp::Complex32],
+    workers: usize,
+) -> Result<(), String> {
+    let cfg = tnb_core::WidebandConfig {
+        streaming: StreamingConfig {
+            workers,
+            ..StreamingConfig::default()
+        },
+        ..tnb_core::WidebandConfig::default()
+    };
+    let mut rx = tnb_core::WidebandReceiver::with_config(params, cfg);
+    let channels = rx.channels();
+    let mut decoded = Vec::new();
+    for chunk in samples.chunks(262_144) {
+        decoded.extend(rx.push(chunk));
+    }
+    decoded.extend(rx.finish());
+
+    println!("chan   node   seq    SNR(dB)  start(s)  CFO(Hz)");
+    for cp in &decoded {
+        let d = &cp.packet;
+        let (node, seq) = parse_payload(&d.payload)
+            .map(|(n, s)| (n.to_string(), s.to_string()))
+            .unwrap_or_else(|| ("?".into(), "?".into()));
+        println!(
+            "{:<6} {node:<6} {seq:<6} {:<8.1} {:<9.4} {:<8.0}",
+            cp.channel,
+            d.snr_db,
+            d.start / params.sample_rate(),
+            d.cfo_cycles * params.bin_hz(),
+        );
+    }
+    println!(
+        "- tnb wideband decoded {} pkts across {} channels -",
+        decoded.len(),
+        channels
+    );
     Ok(())
 }
 
@@ -563,6 +620,7 @@ fn gateway_serve(args: &[String]) -> Result<(), String> {
             ..StreamingConfig::default()
         },
         queue_chunks: flags.parse_or("--queue", 256usize)?,
+        ..tnb_gateway::GatewayConfig::new(params)
     };
     let gw = tnb_gateway::Gateway::spawn(addr, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
@@ -613,9 +671,17 @@ fn gateway_send(args: &[String]) -> Result<(), String> {
         std::time::Duration::from_secs(flags.parse_or("--connect-timeout", 10u64)?),
     )
     .map_err(|e| format!("connect {addr}: {e}"))?;
+    if flags.has("--wideband") {
+        client
+            .send_samples_wideband(stream_id, &samples, chunk)
+            .map_err(|e| format!("stream: {e}"))?;
+    } else {
+        client
+            .send_samples(stream_id, &samples, chunk)
+            .map_err(|e| format!("stream: {e}"))?;
+    }
     client
-        .send_samples(stream_id, &samples, chunk)
-        .and_then(|_| client.end_stream(stream_id))
+        .end_stream(stream_id)
         .map_err(|e| format!("stream: {e}"))?;
     if flags.has("--stats") {
         client.request_stats().map_err(|e| format!("stats: {e}"))?;
@@ -729,6 +795,117 @@ mod tests {
         assert!(decode(&s(&["--sf", "8"])).is_err());
         assert!(parse_params(&Flags(&s(&["--sf", "6"]))).is_err());
         assert!(parse_params(&Flags(&s(&["--sf", "8", "--cr", "5"]))).is_err());
+    }
+
+    #[test]
+    fn malformed_numeric_flags_error_and_name_the_flag() {
+        // Every subcommand must turn a malformed numeric value into a
+        // usage error naming the offending flag — never a panic.
+        let cases: Vec<(Result<(), String>, &str)> = vec![
+            (
+                generate(&s(&["--out", "/dev/null", "--sf", "8", "--load", "fast"])),
+                "--load",
+            ),
+            (
+                generate(&s(&["--out", "/dev/null", "--sf", "8", "--duration", "3s"])),
+                "--duration",
+            ),
+            (
+                generate(&s(&["--out", "/dev/null", "--sf", "8", "--seed", "0x7"])),
+                "--seed",
+            ),
+            (
+                decode(&s(&[
+                    "--trace",
+                    "/dev/null",
+                    "--sf",
+                    "8",
+                    "--workers",
+                    "many",
+                ])),
+                "--workers",
+            ),
+            (
+                compare(&s(&[
+                    "--trace",
+                    "/dev/null",
+                    "--sf",
+                    "8",
+                    "--workers",
+                    "-1",
+                ])),
+                "--workers",
+            ),
+            (
+                report(&s(&["--demo-collision", "--seed", "deadbeef"])),
+                "--seed",
+            ),
+            (
+                report(&s(&["--demo-collision", "--workers", "two"])),
+                "--workers",
+            ),
+            (faults(&s(&["--demo-collision", "--seed", "1.5"])), "--seed"),
+            (
+                gateway(&s(&["serve", "--sf", "8", "--queue", "big"])),
+                "--queue",
+            ),
+            (
+                gateway(&s(&[
+                    "send",
+                    "--addr",
+                    "x",
+                    "--demo-collision",
+                    "--chunk",
+                    "huge",
+                ])),
+                "--chunk",
+            ),
+            (
+                gateway(&s(&[
+                    "send",
+                    "--addr",
+                    "x",
+                    "--demo-collision",
+                    "--stream",
+                    "-2",
+                ])),
+                "--stream",
+            ),
+            (gateway(&s(&["bench", "--streams", "three"])), "--streams"),
+            (gateway(&s(&["bench", "--workers", "1,x"])), "--workers"),
+        ];
+        for (result, flag) in cases {
+            let err = result.expect_err(flag);
+            assert!(err.contains(flag), "error {err:?} should name {flag}");
+        }
+    }
+
+    #[test]
+    fn decode_wideband_roundtrip() {
+        // Save an 8-channel wideband scene as a trace file, then decode
+        // it through the public subcommand with --wideband.
+        let dir = std::env::temp_dir().join("tnb_cli_wideband");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.iq16");
+        let path_s = path.to_str().unwrap();
+        let params = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+        let cfg = tnb_sim::wideband::WidebandLoopbackConfig::new(params);
+        let (scene, _) = tnb_sim::wideband::wideband_scene(&cfg);
+        save_trace(path_s, &scene).unwrap();
+        decode(&s(&["--trace", path_s, "--sf", "8", "--wideband"])).unwrap();
+        // Non-TnB schemes cannot ride the channelizer pipeline.
+        let err = decode(&s(&[
+            "--trace",
+            path_s,
+            "--sf",
+            "8",
+            "--wideband",
+            "--scheme",
+            "cic",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--wideband"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

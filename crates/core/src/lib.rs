@@ -14,6 +14,7 @@ pub mod sigcalc;
 pub mod streaming;
 pub mod sync;
 pub mod thrive;
+pub mod wideband;
 
 /// Pipeline observability (counters, gauges, histograms), re-exported so
 /// downstream crates reach it without a manifest dependency of their own.
@@ -26,3 +27,4 @@ pub use receiver::{DecodeOutcome, DecodeReport, DegradeReason, TnbConfig, TnbRec
 pub use sic::SicConfig;
 pub use streaming::{StreamingConfig, StreamingReceiver};
 pub use tnb_metrics::{MetricsSnapshot, PipelineMetrics, Stage, StageCounters};
+pub use wideband::{ChannelPacket, WidebandConfig, WidebandReceiver};

@@ -220,6 +220,79 @@ fn reused_receiver_counts_rescues_once_per_stream() {
 }
 
 #[test]
+fn sic_rescue_at_end_of_trace_with_small_chunks_emits_exactly_once() {
+    // Regression guard for the SIC-overlap boundary arithmetic: a
+    // near-far pair sitting in the trace's *tail* — past the last
+    // push-triggered processing window, so only `finish()` ever decodes
+    // it — must be emitted exactly once, and the rescue counted exactly
+    // once, even when every chunk is far smaller than one packet
+    // airtime (many chunk boundaries crossing the retained SIC overlap).
+    let p = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+    let l = p.samples_per_symbol();
+    let cfg = tnb_core::StreamingConfig {
+        receiver: tnb_core::TnbConfig {
+            sic: tnb_core::SicConfig {
+                enabled: true,
+                ..tnb_core::SicConfig::default()
+            },
+            ..tnb_core::TnbConfig::default()
+        },
+        workers: 2,
+        ..Default::default()
+    };
+    let airtime = tnb_phy::Transmitter::new(p).packet_samples(16);
+    let strong_start = 6_000;
+    let weak_payload: Vec<u8> = vec![0x57; 16];
+    let strong_payload: Vec<u8> = vec![0xA5; 16];
+    let mut b = TraceBuilder::new(p, 47);
+    b.add_packet(
+        &strong_payload,
+        PacketConfig {
+            start_sample: strong_start,
+            snr_db: 18.0,
+            cfo_hz: -1_800.0,
+            frac_delay: 0.41,
+            node_id: 1,
+            ..Default::default()
+        },
+    );
+    b.add_packet(
+        &weak_payload,
+        PacketConfig {
+            start_sample: strong_start + 3 * l + l / 3,
+            snr_db: 3.0,
+            cfo_hz: 2_400.0,
+            frac_delay: 0.73,
+            node_id: 2,
+            ..Default::default()
+        },
+    );
+    b.set_min_len(strong_start + 2 * airtime + 20_000);
+    let trace = b.build();
+
+    // Chunk sizes straddle awkward boundaries: both far below one
+    // airtime, one not a divisor of anything round.
+    for chunk in [20_000usize, 33_333] {
+        let mut rx = tnb_core::StreamingReceiver::with_config(p, cfg);
+        let mut got = Vec::new();
+        for c in trace.samples().chunks(chunk) {
+            got.extend(rx.push(c).into_iter().map(|d| d.payload));
+        }
+        got.extend(rx.finish().into_iter().map(|d| d.payload));
+        assert!(
+            got.contains(&weak_payload) && got.contains(&strong_payload),
+            "chunk {chunk}: {got:?}"
+        );
+        assert_eq!(got.len(), 2, "chunk {chunk}: each packet exactly once");
+        assert_eq!(
+            rx.report().second_pass_rescues,
+            1,
+            "chunk {chunk}: the tail rescue must be counted exactly once"
+        );
+    }
+}
+
+#[test]
 fn absolute_starts_reported() {
     let (trace, _) = build_trace(33, 3);
     let p = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);

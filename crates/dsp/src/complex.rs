@@ -10,7 +10,11 @@
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex number with `f32` real and imaginary parts.
+///
+/// `repr(C)` guarantees the `(re, im)` interleaved layout the SIMD kernels
+/// in [`crate::simd`] rely on when reinterpreting slices as packed `f32`s.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex32 {
     /// Real (in-phase) part.
     pub re: f32,

@@ -17,8 +17,12 @@ use crate::complex::Complex32;
 #[derive(Debug, Clone)]
 pub struct FftPlan {
     size: usize,
-    /// Twiddle factors `e^{-2πik/N}` for `k in 0..N/2` (forward direction).
-    twiddles: Vec<Complex32>,
+    /// Twiddle factors `e^{-2πik/N}` (forward direction) flattened per
+    /// stage (`len = 2, 4, …, N`): for each stage the `len/2` factors
+    /// `e^{-2πi·(k·N/len)/N}`, `k in 0..len/2`, in order. The butterfly
+    /// kernel walks a contiguous slice instead of a strided gather; the
+    /// bits are identical to the classic half-size table. N−1 entries.
+    stage_twiddles: Vec<Complex32>,
     /// Bit-reversal permutation: `rev[i]` is `i` with `log2(N)` bits reversed.
     rev: Vec<u32>,
 }
@@ -37,9 +41,18 @@ impl FftPlan {
         let bits = size.trailing_zeros();
         // Twiddles are generated from f64 phases so large sizes keep full
         // f32 accuracy.
-        let twiddles = (0..size / 2)
+        let twiddles: Vec<Complex32> = (0..size / 2)
             .map(|k| Complex32::from_phase(-2.0 * std::f64::consts::PI * k as f64 / size as f64))
             .collect();
+        let mut stage_twiddles = Vec::with_capacity(size.saturating_sub(1));
+        let mut len = 2;
+        while len <= size {
+            let stride = size / len;
+            for k in 0..len / 2 {
+                stage_twiddles.push(twiddles[k * stride]);
+            }
+            len <<= 1;
+        }
         let rev = (0..size as u32)
             .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
             .collect::<Vec<_>>();
@@ -47,7 +60,7 @@ impl FftPlan {
         // which it is; no special case needed beyond bits.max(1).
         FftPlan {
             size,
-            twiddles,
+            stage_twiddles,
             rev,
         }
     }
@@ -92,24 +105,22 @@ impl FftPlan {
         }
     }
 
+    // tnb-lint: no_alloc
     fn butterflies(&self, buf: &mut [Complex32], inverse: bool) {
         let n = self.size;
         let mut len = 2;
+        let mut toff = 0;
         while len <= n {
             let half = len / 2;
-            let stride = n / len; // index step through the twiddle table
-            for start in (0..n).step_by(len) {
-                for k in 0..half {
-                    let mut w = self.twiddles[k * stride];
-                    if inverse {
-                        w = w.conj();
-                    }
-                    let a = buf[start + k];
-                    let b = buf[start + k + half] * w;
-                    buf[start + k] = a + b;
-                    buf[start + k + half] = a - b;
-                }
+            let tw = self
+                .stage_twiddles
+                .get(toff..toff + half)
+                .unwrap_or_default();
+            for block in buf.chunks_exact_mut(len) {
+                let (a, b) = block.split_at_mut(half);
+                crate::simd::butterfly(a, b, tw, inverse);
             }
+            toff += half;
             len <<= 1;
         }
     }

@@ -19,18 +19,25 @@
 //! - [`scratch`]: the per-thread [`DspScratch`] workspace (cached FFT
 //!   plans plus reusable de-chirp/spectrum buffers) that keeps the
 //!   steady-state decode loop free of per-symbol allocations.
+//! - [`simd`]: runtime-dispatched SIMD kernels (AVX2 / NEON / scalar) for
+//!   the hot inner loops, bit-identical to the scalar reference.
+//! - [`channelizer`]: a polyphase DFT filterbank splitting one wideband
+//!   IQ stream into the per-channel streams the receivers consume.
 //!
 //! Design follows the workspace's networking-code guidelines: simple,
 //! event-free, allocation-conscious synchronous code with no macro or type
 //! tricks.
 
+pub mod channelizer;
 pub mod complex;
 pub mod fft;
 pub mod peakfinder;
 pub mod scratch;
+pub mod simd;
 pub mod smooth;
 pub mod stats;
 
+pub use channelizer::{Channelizer, ChannelizerConfig};
 pub use complex::Complex32;
 pub use fft::FftPlan;
 pub use peakfinder::{find_peaks, Peak, PeakFinderConfig};

@@ -59,7 +59,7 @@ pub fn find_peaks(x: &[f32], cfg: &PeakFinderConfig) -> Vec<Peak> {
     // fast path leaves clean traces bit-identical; otherwise non-finite
     // bins are floored to the finite minimum, so they can never stand
     // out from their neighbourhood.
-    if x.iter().any(|v| !v.is_finite()) {
+    if !crate::simd::all_finite(x) {
         let lo = x
             .iter()
             .copied()
@@ -80,7 +80,10 @@ pub fn find_peaks(x: &[f32], cfg: &PeakFinderConfig) -> Vec<Peak> {
         return peaks;
     }
 
-    let (lo, hi) = min_max(x);
+    // Total-order min/max (SIMD-dispatched): on the all-finite input
+    // reaching this point it agrees with the naive `f32::min`/`max` fold
+    // up to the sign of a ±0 extremum, which cancels in `hi - lo`.
+    let (lo, hi) = crate::simd::min_max(x);
     let sel = cfg.sel.unwrap_or((hi - lo) / 4.0);
 
     let peaks = if cfg.circular {
@@ -103,16 +106,6 @@ pub fn find_peaks(x: &[f32], cfg: &PeakFinderConfig) -> Vec<Peak> {
         }
     }
     peaks
-}
-
-fn min_max(x: &[f32]) -> (f32, f32) {
-    let mut lo = f32::INFINITY;
-    let mut hi = f32::NEG_INFINITY;
-    for &v in x {
-        lo = lo.min(v);
-        hi = hi.max(v);
-    }
-    (lo, hi)
 }
 
 /// Core alternating-extrema scan with selectivity, on a linear signal.

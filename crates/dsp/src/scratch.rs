@@ -83,6 +83,8 @@ pub struct DspScratch {
     pub cacc_a: Vec<Complex32>,
     /// Complex accumulator B (e.g. summed down-chirp spectra).
     pub cacc_b: Vec<Complex32>,
+    /// CFO-rotator buffer (`e^{-j2πδn/L}` table refilled per window).
+    pub crot: Vec<Complex32>,
     /// Real working buffer (folded signal vector).
     pub fbuf: Vec<f32>,
     /// Real accumulator (signal vector summed across antennas).

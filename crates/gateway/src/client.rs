@@ -77,11 +77,37 @@ impl GatewayClient {
         samples: &[Complex32],
         chunk_len: usize,
     ) -> io::Result<u32> {
+        self.send_samples_mode(stream_id, samples, chunk_len, false)
+    }
+
+    /// Like [`Self::send_samples`] but marks every DATA frame with the
+    /// WIDEBAND flag, so the daemon channelizes the stream into the 8
+    /// LoRa uplink channels before decoding.
+    pub fn send_samples_wideband(
+        &mut self,
+        stream_id: u32,
+        samples: &[Complex32],
+        chunk_len: usize,
+    ) -> io::Result<u32> {
+        self.send_samples_mode(stream_id, samples, chunk_len, true)
+    }
+
+    fn send_samples_mode(
+        &mut self,
+        stream_id: u32,
+        samples: &[Complex32],
+        chunk_len: usize,
+        wideband: bool,
+    ) -> io::Result<u32> {
         let chunk_len = chunk_len.clamp(1, MAX_FRAME_SAMPLES);
         let mut sent = 0;
         for chunk in samples.chunks(chunk_len) {
             let seq = self.bump_seq(stream_id);
-            let frame = Frame::data(stream_id, seq, chunk.to_vec());
+            let frame = if wideband {
+                Frame::data_wideband(stream_id, seq, chunk.to_vec())
+            } else {
+                Frame::data(stream_id, seq, chunk.to_vec())
+            };
             self.sock.write_all(&encode_frame(&frame))?;
             sent += 1;
         }

@@ -37,8 +37,11 @@ use std::time::Duration;
 use crate::stats::{GatewayStats, GatewayStatsSnapshot};
 use crate::uplink;
 use crate::wire::{FrameKind, FrameReader, ReadStep};
-use tnb_core::{DecodeReport, MetricsSnapshot, StreamingConfig, StreamingReceiver};
-use tnb_dsp::Complex32;
+use tnb_core::{
+    DecodeReport, MetricsSnapshot, StreamingConfig, StreamingReceiver, WidebandConfig,
+    WidebandReceiver,
+};
+use tnb_dsp::{ChannelizerConfig, Complex32};
 use tnb_phy::LoRaParams;
 
 /// How often blocked socket reads wake up to check the shutdown flag.
@@ -55,15 +58,20 @@ pub struct GatewayConfig {
     /// Ingest-queue bound, in buffered DATA chunks per connection.
     /// Beyond it the oldest buffered chunk is dropped (clamped to ≥ 1).
     pub queue_chunks: usize,
+    /// Filterbank geometry for streams that arrive with the wire
+    /// protocol's WIDEBAND flag (see [`crate::wire::FLAG_WIDEBAND`]).
+    pub channelizer: ChannelizerConfig,
 }
 
 impl GatewayConfig {
-    /// Defaults: single worker, no observation, 256-chunk ingest bound.
+    /// Defaults: single worker, no observation, 256-chunk ingest bound,
+    /// 8-channel wideband filterbank.
     pub fn new(params: LoRaParams) -> Self {
         GatewayConfig {
             params,
             streaming: StreamingConfig::default(),
             queue_chunks: 256,
+            channelizer: ChannelizerConfig::default(),
         }
     }
 }
@@ -74,6 +82,7 @@ enum Work {
     Chunk {
         stream_id: u32,
         seq: u32,
+        wideband: bool,
         samples: Vec<Complex32>,
     },
     /// END_STREAM verb: flush and report one stream.
@@ -324,6 +333,7 @@ fn read_loop(mut sock: TcpStream, ingest: &Ingest, stats: &GatewayStats, shutdow
                         let dropped = ingest.push(Work::Chunk {
                             stream_id: frame.stream_id,
                             seq: frame.seq,
+                            wideband: frame.is_wideband(),
                             samples: frame.samples,
                         });
                         stats.chunks_dropped.add(dropped);
@@ -354,11 +364,104 @@ fn read_loop(mut sock: TcpStream, ingest: &Ingest, stats: &GatewayStats, shutdow
     }
 }
 
+/// The decode engine of one stream: narrowband (one receiver) or
+/// wideband (channelizer feeding per-channel receivers). The mode is
+/// latched by the stream's first DATA frame's WIDEBAND flag.
+enum Rx {
+    Narrow(Box<StreamingReceiver>),
+    Wide(WidebandReceiver),
+}
+
 /// One stream's decode state inside a connection.
 struct Session {
-    rx: StreamingReceiver,
+    rx: Rx,
     next_seq: u32,
     uplinked: u64,
+}
+
+impl Session {
+    fn new(cfg: &GatewayConfig, wideband: bool) -> Session {
+        let rx = if wideband {
+            Rx::Wide(WidebandReceiver::with_config(
+                cfg.params,
+                WidebandConfig {
+                    channelizer: cfg.channelizer,
+                    streaming: cfg.streaming,
+                },
+            ))
+        } else {
+            Rx::Narrow(Box::new(StreamingReceiver::with_config(
+                cfg.params,
+                cfg.streaming,
+            )))
+        };
+        Session {
+            rx,
+            next_seq: 0,
+            uplinked: 0,
+        }
+    }
+
+    fn is_wideband(&self) -> bool {
+        matches!(self.rx, Rx::Wide(_))
+    }
+
+    /// Feeds one chunk; returns `(channel, packet)` pairs (`None` on a
+    /// narrowband stream).
+    fn push(&mut self, samples: &[Complex32]) -> Vec<(Option<usize>, tnb_core::DecodedPacket)> {
+        match &mut self.rx {
+            Rx::Narrow(rx) => rx.push(samples).into_iter().map(|p| (None, p)).collect(),
+            Rx::Wide(rx) => rx
+                .push(samples)
+                .into_iter()
+                .map(|cp| (Some(cp.channel), cp.packet))
+                .collect(),
+        }
+    }
+
+    /// Flushes the stream's tail at end of stream.
+    fn finish(&mut self) -> Vec<(Option<usize>, tnb_core::DecodedPacket)> {
+        match &mut self.rx {
+            Rx::Narrow(rx) => rx.finish().into_iter().map(|p| (None, p)).collect(),
+            Rx::Wide(rx) => rx
+                .finish()
+                .into_iter()
+                .map(|cp| (Some(cp.channel), cp.packet))
+                .collect(),
+        }
+    }
+
+    /// Cumulative decode report (wideband: absorbed across channels).
+    fn report(&self) -> DecodeReport {
+        match &self.rx {
+            Rx::Narrow(rx) => rx.report(),
+            Rx::Wide(rx) => {
+                let mut all = DecodeReport::default();
+                for r in rx.reports() {
+                    all.absorb(&r);
+                }
+                all
+            }
+        }
+    }
+
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        match &self.rx {
+            Rx::Narrow(rx) => rx.metrics_snapshot(),
+            // Wideband streams don't aggregate wall-time metrics across
+            // channels (the per-channel receivers observe independently).
+            Rx::Wide(_) => MetricsSnapshot::default(),
+        }
+    }
+
+    /// Samples consumed so far, on the stream's own input clock
+    /// (wideband streams consume `M` input samples per channel sample).
+    fn position(&self) -> u64 {
+        match &self.rx {
+            Rx::Narrow(rx) => rx.position(),
+            Rx::Wide(rx) => rx.position(0) * rx.channels() as u64,
+        }
+    }
 }
 
 /// Drains the ingest queue, decoding each stream with its own
@@ -373,30 +476,55 @@ fn decode_loop(ingest: &Ingest, write_half: TcpStream, cfg: GatewayConfig, stats
             Work::Chunk {
                 stream_id,
                 seq,
+                wideband,
                 samples,
             } => {
-                let s = sessions.entry(stream_id).or_insert_with(|| Session {
-                    rx: StreamingReceiver::with_config(cfg.params, cfg.streaming),
-                    next_seq: 0,
-                    uplinked: 0,
-                });
-                if seq != s.next_seq {
-                    stats.seq_gaps.inc();
+                let s = sessions
+                    .entry(stream_id)
+                    .or_insert_with(|| Session::new(&cfg, wideband));
+                // Sequence tracking with u32 wraparound: a frame ahead
+                // of the cursor (by less than half the sequence space)
+                // is a gap — counted, then accepted; a frame at or
+                // behind the cursor is a duplicate / stale
+                // retransmission — counted and dropped, so a replayed
+                // chunk is never decoded (and uplinked) twice.
+                let diff = seq.wrapping_sub(s.next_seq);
+                if diff != 0 {
+                    if diff < 1 << 31 {
+                        stats.seq_gaps.inc();
+                    } else {
+                        stats.seq_dups.inc();
+                        continue;
+                    }
                 }
                 s.next_seq = seq.wrapping_add(1);
                 // Fault containment: a panicking decode restarts this
                 // stream's receiver (sample clock rebases); every other
                 // stream and connection is untouched.
-                let pkts = match catch_unwind(AssertUnwindSafe(|| s.rx.push(&samples))) {
+                let pkts = match catch_unwind(AssertUnwindSafe(|| s.push(&samples))) {
                     Ok(pkts) => pkts,
                     Err(_) => {
                         stats.worker_panics.inc();
-                        s.rx = StreamingReceiver::with_config(cfg.params, cfg.streaming);
+                        let wide = s.is_wideband();
+                        let uplinked = s.uplinked;
+                        let next_seq = s.next_seq;
+                        *s = Session::new(&cfg, wide);
+                        s.uplinked = uplinked;
+                        s.next_seq = next_seq;
                         Vec::new()
                     }
                 };
-                for p in &pkts {
-                    let line = uplink::uplink_line(&cfg.params, stream_id, s.uplinked, p);
+                for (chan, p) in &pkts {
+                    let line = match chan {
+                        Some(c) => uplink::uplink_line_on_channel(
+                            &cfg.params,
+                            stream_id,
+                            s.uplinked,
+                            *c,
+                            p,
+                        ),
+                        None => uplink::uplink_line(&cfg.params, stream_id, s.uplinked, p),
+                    };
                     s.uplinked += 1;
                     stats.packets_uplinked.inc();
                     let _ = writeln!(out, "{line}");
@@ -423,8 +551,8 @@ fn decode_loop(ingest: &Ingest, write_half: TcpStream, cfg: GatewayConfig, stats
                 let mut report = closed_report.clone();
                 let mut metrics = last_metrics;
                 for s in sessions.values() {
-                    report.absorb(&s.rx.report());
-                    metrics = s.rx.metrics_snapshot();
+                    report.absorb(&s.report());
+                    metrics = s.metrics_snapshot();
                 }
                 let line = uplink::stats_line(&stats.snapshot(), &report, &metrics);
                 let _ = writeln!(out, "{line}");
@@ -466,25 +594,28 @@ fn finish_session(
     closed_report: &mut DecodeReport,
     last_metrics: &mut MetricsSnapshot,
 ) {
-    let pkts = match catch_unwind(AssertUnwindSafe(|| s.rx.finish())) {
+    let pkts = match catch_unwind(AssertUnwindSafe(|| s.finish())) {
         Ok(pkts) => pkts,
         Err(_) => {
             stats.worker_panics.inc();
             Vec::new()
         }
     };
-    for p in &pkts {
-        let line = uplink::uplink_line(&cfg.params, stream_id, s.uplinked, p);
+    for (chan, p) in &pkts {
+        let line = match chan {
+            Some(c) => uplink::uplink_line_on_channel(&cfg.params, stream_id, s.uplinked, *c, p),
+            None => uplink::uplink_line(&cfg.params, stream_id, s.uplinked, p),
+        };
         s.uplinked += 1;
         stats.packets_uplinked.inc();
         let _ = writeln!(out, "{line}");
     }
-    let report = s.rx.report();
-    *last_metrics = s.rx.metrics_snapshot();
+    let report = s.report();
+    *last_metrics = s.metrics_snapshot();
     let _ = writeln!(
         out,
         "{}",
-        uplink::end_line(stream_id, s.rx.position(), s.uplinked, &report)
+        uplink::end_line(stream_id, s.position(), s.uplinked, &report)
     );
     closed_report.absorb(&report);
 }
@@ -497,6 +628,7 @@ mod tests {
         Work::Chunk {
             stream_id: 0,
             seq: n as u32,
+            wideband: false,
             samples: vec![Complex32::ZERO; 4],
         }
     }

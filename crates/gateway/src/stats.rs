@@ -29,6 +29,10 @@ pub struct GatewayStats {
     /// DATA frames whose `seq` skipped ahead of the previous chunk of
     /// the same stream (sender-side loss or reordering).
     pub seq_gaps: SharedCounter,
+    /// DATA frames whose `seq` was at or behind the stream's cursor
+    /// (duplicate or stale retransmission); dropped without decoding so
+    /// a replayed chunk cannot be decoded twice.
+    pub seq_dups: SharedCounter,
     /// Malformed frames (any [`crate::wire::WireError`]); each closes
     /// its connection, the daemon keeps serving the others.
     pub protocol_errors: SharedCounter,
@@ -50,6 +54,7 @@ impl GatewayStats {
             samples_in: self.samples_in.get(),
             chunks_dropped: self.chunks_dropped.get(),
             seq_gaps: self.seq_gaps.get(),
+            seq_dups: self.seq_dups.get(),
             protocol_errors: self.protocol_errors.get(),
             packets_uplinked: self.packets_uplinked.get(),
             worker_panics: self.worker_panics.get(),
@@ -67,6 +72,7 @@ pub struct GatewayStatsSnapshot {
     pub samples_in: u64,
     pub chunks_dropped: u64,
     pub seq_gaps: u64,
+    pub seq_dups: u64,
     pub protocol_errors: u64,
     pub packets_uplinked: u64,
     pub worker_panics: u64,
@@ -78,7 +84,8 @@ impl GatewayStatsSnapshot {
         format!(
             "{{\"connections_accepted\":{},\"connections_closed\":{},\
              \"frames_in\":{},\"chunks_in\":{},\"samples_in\":{},\
-             \"chunks_dropped\":{},\"seq_gaps\":{},\"protocol_errors\":{},\
+             \"chunks_dropped\":{},\"seq_gaps\":{},\"seq_dups\":{},\
+             \"protocol_errors\":{},\
              \"packets_uplinked\":{},\"worker_panics\":{}}}",
             self.connections_accepted,
             self.connections_closed,
@@ -87,6 +94,7 @@ impl GatewayStatsSnapshot {
             self.samples_in,
             self.chunks_dropped,
             self.seq_gaps,
+            self.seq_dups,
             self.protocol_errors,
             self.packets_uplinked,
             self.worker_panics,
@@ -115,6 +123,7 @@ mod tests {
             "samples_in",
             "chunks_dropped",
             "seq_gaps",
+            "seq_dups",
             "protocol_errors",
             "packets_uplinked",
             "worker_panics",

@@ -70,8 +70,32 @@ pub fn sample_clock_us(start: f64, params: &LoRaParams) -> u64 {
 /// reuses the per-packet schema of `DecodeReport.outcomes` (`tnb-cli
 /// report --json`), so consumers parse both feeds the same way.
 pub fn uplink_line(params: &LoRaParams, stream_id: u32, n: u64, pkt: &DecodedPacket) -> String {
+    uplink_line_impl(params, stream_id, n, None, pkt)
+}
+
+/// Like [`uplink_line`] but for a wideband stream: tags the line with
+/// the logical uplink channel the packet was heard on (`0..M`, ascending
+/// frequency), as a top-level `channel` key.
+pub fn uplink_line_on_channel(
+    params: &LoRaParams,
+    stream_id: u32,
+    n: u64,
+    channel: usize,
+    pkt: &DecodedPacket,
+) -> String {
+    uplink_line_impl(params, stream_id, n, Some(channel), pkt)
+}
+
+fn uplink_line_impl(
+    params: &LoRaParams,
+    stream_id: u32,
+    n: u64,
+    channel: Option<usize>,
+    pkt: &DecodedPacket,
+) -> String {
+    let chan = channel.map_or(String::new(), |c| format!("\"channel\":{c},"));
     format!(
-        "{{\"type\":\"uplink\",\"stream\":{stream_id},\"n\":{n},\
+        "{{\"type\":\"uplink\",\"stream\":{stream_id},\"n\":{n},{chan}\
          \"rxpk\":{{\"tmst\":{},\"freq\":{UPLINK_FREQ_MHZ},\"datr\":\"{}\",\
          \"lsnr\":{:.1},\"foff\":{:.0},\"size\":{},\"data\":\"{}\"}},\
          \"outcome\":{{\"status\":\"decoded\",\"start\":{},\"pass\":{}}},\
@@ -177,6 +201,31 @@ mod tests {
         // Sample clock: 1 sample = 1 µs at 1 Msps; never negative.
         assert_eq!(sample_clock_us(-3.0, &params), 0);
         assert_eq!(sample_clock_us(1_000_000.0, &params), 1_000_000);
+    }
+
+    #[test]
+    fn wideband_uplink_line_carries_channel() {
+        let params = LoRaParams::new(SpreadingFactor::SF8, CodingRate::CR4);
+        let pkt = DecodedPacket {
+            payload: b"x".to_vec(),
+            header: tnb_phy::header::Header {
+                payload_len: 1,
+                cr: CodingRate::CR4,
+                has_crc: true,
+            },
+            start: 100.0,
+            cfo_cycles: 0.0,
+            snr_db: 10.0,
+            rescued_codewords: 0,
+            pass: 1,
+        };
+        let line = uplink_line_on_channel(&params, 2, 1, 6, &pkt);
+        assert!(
+            line.starts_with("{\"type\":\"uplink\",\"stream\":2,\"n\":1,\"channel\":6,"),
+            "{line}"
+        );
+        // Narrowband lines carry no channel key.
+        assert!(!uplink_line(&params, 2, 1, &pkt).contains("\"channel\""));
     }
 
     #[test]

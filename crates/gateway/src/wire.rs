@@ -8,7 +8,8 @@
 //! 0       4     magic           "TNBG"
 //! 4       1     version         1
 //! 5       1     kind            0=DATA 1=END_STREAM 2=STATS 3=SHUTDOWN
-//! 6       1     flags           must be 0 (reserved for extensions)
+//! 6       1     flags           bit 0 = WIDEBAND (DATA only); other bits
+//!                               must be 0 (reserved for extensions)
 //! 7       1     reserved        must be 0
 //! 8       4     stream_id       u32, groups chunks into one IQ stream
 //! 12      4     seq             u32, per-stream chunk sequence number
@@ -51,6 +52,15 @@ pub const MAX_FRAME_SAMPLES: usize = 1 << 20;
 /// Quantization scale shared with the trace-file format.
 pub const IQ_SCALE: f32 = IQ16_SCALE;
 
+/// DATA-frame flag bit: the stream carries *wideband* IQ that the daemon
+/// must split through the polyphase channelizer (8 LoRa uplink channels)
+/// instead of decoding as one narrowband stream. Only legal on DATA
+/// frames; the stream's mode is latched by its first DATA frame.
+pub const FLAG_WIDEBAND: u8 = 0x01;
+
+/// All flag bits the protocol knows; anything else is [`WireError::BadFlags`].
+const KNOWN_FLAGS: u8 = FLAG_WIDEBAND;
+
 /// Frame kind discriminator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameKind {
@@ -92,19 +102,31 @@ impl FrameKind {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Frame {
     pub kind: FrameKind,
+    /// Flag bits (see [`FLAG_WIDEBAND`]); zero on control frames.
+    pub flags: u8,
     pub stream_id: u32,
     pub seq: u32,
     pub samples: Vec<Complex32>,
 }
 
 impl Frame {
-    /// A DATA frame carrying one IQ chunk.
+    /// A DATA frame carrying one narrowband IQ chunk.
     pub fn data(stream_id: u32, seq: u32, samples: Vec<Complex32>) -> Frame {
         Frame {
             kind: FrameKind::Data,
+            flags: 0,
             stream_id,
             seq,
             samples,
+        }
+    }
+
+    /// A DATA frame carrying one *wideband* IQ chunk (see
+    /// [`FLAG_WIDEBAND`]).
+    pub fn data_wideband(stream_id: u32, seq: u32, samples: Vec<Complex32>) -> Frame {
+        Frame {
+            flags: FLAG_WIDEBAND,
+            ..Frame::data(stream_id, seq, samples)
         }
     }
 
@@ -112,6 +134,7 @@ impl Frame {
     pub fn end_stream(stream_id: u32, seq: u32) -> Frame {
         Frame {
             kind: FrameKind::EndStream,
+            flags: 0,
             stream_id,
             seq,
             samples: Vec::new(),
@@ -122,6 +145,7 @@ impl Frame {
     pub fn stats() -> Frame {
         Frame {
             kind: FrameKind::Stats,
+            flags: 0,
             stream_id: 0,
             seq: 0,
             samples: Vec::new(),
@@ -132,10 +156,16 @@ impl Frame {
     pub fn shutdown() -> Frame {
         Frame {
             kind: FrameKind::Shutdown,
+            flags: 0,
             stream_id: 0,
             seq: 0,
             samples: Vec::new(),
         }
+    }
+
+    /// Whether this DATA frame carries wideband IQ.
+    pub fn is_wideband(&self) -> bool {
+        self.flags & FLAG_WIDEBAND != 0
     }
 }
 
@@ -278,7 +308,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
     out.push(frame.kind.to_byte());
-    out.push(0); // flags
+    out.push(frame.flags);
     out.push(0); // reserved
     out.extend_from_slice(&frame.stream_id.to_le_bytes());
     out.extend_from_slice(&frame.seq.to_le_bytes());
@@ -329,11 +359,21 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
     } else {
         None
     };
-    if have >= 8 && (bytes[6] != 0 || bytes[7] != 0) {
-        return Err(WireError::BadFlags {
-            flags: bytes[6],
-            reserved: bytes[7],
-        });
+    if have >= 8 {
+        let flags = bytes[6];
+        // Unknown flag bits are always rejected; the known WIDEBAND bit
+        // is only meaningful on DATA frames. `kind` is Some here (it
+        // parses at 6 bytes, and we have 8).
+        let allowed = match kind {
+            Some(FrameKind::Data) => KNOWN_FLAGS,
+            _ => 0,
+        };
+        if flags & !allowed != 0 || bytes[7] != 0 {
+            return Err(WireError::BadFlags {
+                flags,
+                reserved: bytes[7],
+            });
+        }
     }
     if have < HEADER_LEN {
         return Ok(None);
@@ -375,6 +415,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
     Ok(Some((
         Frame {
             kind,
+            flags: bytes[6],
             stream_id,
             seq,
             samples,
@@ -514,6 +555,19 @@ mod tests {
     }
 
     #[test]
+    fn wideband_data_frame_roundtrip() {
+        let s = samples(16);
+        let f = Frame::data_wideband(3, 5, s.clone());
+        assert!(f.is_wideband());
+        let back = decode_frame_exact(&encode_frame(&f)).unwrap();
+        assert!(back.is_wideband());
+        assert_eq!(back.flags, FLAG_WIDEBAND);
+        assert_eq!(back.samples, quantize(&s));
+        // The narrowband constructor stays flag-free.
+        assert!(!Frame::data(3, 5, s).is_wideband());
+    }
+
+    #[test]
     fn control_frames_roundtrip() {
         for f in [Frame::end_stream(3, 9), Frame::stats(), Frame::shutdown()] {
             let bytes = encode_frame(&f);
@@ -547,8 +601,25 @@ mod tests {
             Err(WireError::BadKind(200))
         ));
 
+        // Unknown flag bit on a DATA frame.
         let mut bad = good.clone();
-        bad[6] = 1;
+        bad[6] = 0x80;
+        assert!(matches!(
+            decode_frame_exact(&bad),
+            Err(WireError::BadFlags { .. })
+        ));
+
+        // The WIDEBAND bit is DATA-only: rejected on control frames.
+        let mut bad = encode_frame(&Frame::stats());
+        bad[6] = FLAG_WIDEBAND;
+        assert!(matches!(
+            decode_frame_exact(&bad),
+            Err(WireError::BadFlags { .. })
+        ));
+
+        // Nonzero reserved byte.
+        let mut bad = good.clone();
+        bad[7] = 1;
         assert!(matches!(
             decode_frame_exact(&bad),
             Err(WireError::BadFlags { .. })

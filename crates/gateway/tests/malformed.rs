@@ -23,6 +23,7 @@ fn spawn_daemon() -> Gateway {
             params: params(),
             streaming: StreamingConfig::default(),
             queue_chunks: 64,
+            ..GatewayConfig::new(params())
         },
     )
     .expect("bind loopback")
@@ -152,6 +153,7 @@ fn backpressure_drops_oldest_and_counts() {
             params: params(),
             streaming: StreamingConfig::default(),
             queue_chunks: 2,
+            ..GatewayConfig::new(params())
         },
     )
     .expect("bind");

@@ -13,7 +13,35 @@
 
 use crate::chirp::ChirpTable;
 use crate::params::LoRaParams;
-use tnb_dsp::{Complex32, DspScratch, FftPlan};
+use tnb_dsp::{simd, Complex32, DspScratch, FftPlan};
+
+/// Fills `rot` with the CFO-removal rotator `e^{-j2π·δ·n/L}` for
+/// `n in 0..l` (phase accumulated in `f64`, as everywhere else).
+// tnb-lint: no_alloc -- refills a caller-owned buffer, capacity reused
+fn fill_rot(l: usize, cfo_cycles: f64, rot: &mut Vec<Complex32>) {
+    let step = -2.0 * std::f64::consts::PI * cfo_cycles / l as f64;
+    rot.clear();
+    rot.extend((0..l).map(|n| Complex32::from_phase(step * n as f64)));
+}
+
+/// De-chirps `window` against `chirp` into `out`; with `rot` present the
+/// CFO rotator is applied as a second elementwise multiply, preserving
+/// the scalar association `(w·d)·rot` bit-for-bit. Both multiplies run
+/// on the dispatched SIMD kernel.
+// tnb-lint: no_alloc -- two kernel passes over caller-owned buffers
+fn dechirp_into(
+    window: &[Complex32],
+    chirp: &[Complex32],
+    rot: Option<&[Complex32]>,
+    out: &mut Vec<Complex32>,
+) {
+    out.clear();
+    out.resize(window.len().min(chirp.len()), Complex32::ZERO);
+    simd::cmul(window, chirp, out);
+    if let Some(rot) = rot {
+        simd::cmul_assign(out, rot);
+    }
+}
 
 /// Reusable demodulator: owns the chirp table, FFT plan and scratch buffer
 /// for one parameter set.
@@ -62,17 +90,13 @@ impl Demodulator {
         assert_eq!(window.len(), l, "window must be one symbol long"); // tnb-lint: allow(TNB-PANIC02) -- documented `# Panics` precondition: a wrong-length window is a caller bug, not hostile input
         let mut buf: Vec<Complex32> = Vec::with_capacity(l);
         if cfo_cycles == 0.0 {
-            for (w, d) in window.iter().zip(self.chirps.downchirp()) {
-                buf.push(*w * *d);
-            }
+            dechirp_into(window, self.chirps.downchirp(), None, &mut buf);
         } else {
             // Remove the CFO: multiply by e^{-j2π·δ·n/(N·U)} where δ is in
             // cycles per symbol.
-            let step = -2.0 * std::f64::consts::PI * cfo_cycles / l as f64;
-            for (n, (w, d)) in window.iter().zip(self.chirps.downchirp()).enumerate() {
-                let rot = Complex32::from_phase(step * n as f64);
-                buf.push(*w * *d * rot);
-            }
+            let mut rot: Vec<Complex32> = Vec::new();
+            fill_rot(l, cfo_cycles, &mut rot);
+            dechirp_into(window, self.chirps.downchirp(), Some(&rot), &mut buf);
         }
         self.plan.forward(&mut buf);
         buf
@@ -88,15 +112,9 @@ impl Demodulator {
     /// independent of `h`. Squaring restores the paper's power-like units
     /// `Y = |FFT(γ)| ⊙ |FFT(γ)|`.
     pub fn fold(&self, spectrum: &[Complex32]) -> Vec<f32> {
-        let n = self.params.n();
-        let l = self.params.samples_per_symbol();
-        debug_assert_eq!(spectrum.len(), l);
-        (0..n)
-            .map(|k| {
-                let m = spectrum[k].abs() + spectrum[l - n + k].abs();
-                m * m
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.fold_into(spectrum, &mut out);
+        out
     }
 
     /// Convenience: signal vector of a symbol window (de-chirp, FFT, fold).
@@ -111,16 +129,12 @@ impl Demodulator {
     pub fn complex_spectrum_down(&self, window: &[Complex32], cfo_cycles: f64) -> Vec<Complex32> {
         let l = self.params.samples_per_symbol();
         assert_eq!(window.len(), l, "window must be one symbol long"); // tnb-lint: allow(TNB-PANIC02) -- documented `# Panics` precondition: a wrong-length window is a caller bug, not hostile input
-        let step = -2.0 * std::f64::consts::PI * cfo_cycles / l as f64;
-        let mut buf: Vec<Complex32> = window
-            .iter()
-            .zip(self.chirps.upchirp())
-            .enumerate()
-            .map(|(n, (w, u))| {
-                let rot = Complex32::from_phase(step * n as f64);
-                *w * *u * rot
-            })
-            .collect();
+                                                                       // The rotator is applied even for a zero CFO (it is exactly 1+0i
+                                                                       // there), matching the historical code path bit-for-bit.
+        let mut rot: Vec<Complex32> = Vec::new();
+        fill_rot(l, cfo_cycles, &mut rot);
+        let mut buf: Vec<Complex32> = Vec::with_capacity(l);
+        dechirp_into(window, self.chirps.upchirp(), Some(&rot), &mut buf);
         self.plan.forward(&mut buf);
         buf
     }
@@ -146,18 +160,14 @@ impl Demodulator {
     ) {
         let l = self.params.samples_per_symbol();
         assert_eq!(window.len(), l, "window must be one symbol long"); // tnb-lint: allow(TNB-PANIC02) -- documented `# Panics` precondition: a wrong-length window is a caller bug, not hostile input
-        let DspScratch { plans, cbuf, .. } = scratch;
-        cbuf.clear();
+        let DspScratch {
+            plans, cbuf, crot, ..
+        } = scratch;
         if cfo_cycles == 0.0 {
-            for (w, d) in window.iter().zip(self.chirps.downchirp()) {
-                cbuf.push(*w * *d);
-            }
+            dechirp_into(window, self.chirps.downchirp(), None, cbuf);
         } else {
-            let step = -2.0 * std::f64::consts::PI * cfo_cycles / l as f64;
-            for (n, (w, d)) in window.iter().zip(self.chirps.downchirp()).enumerate() {
-                let rot = Complex32::from_phase(step * n as f64);
-                cbuf.push(*w * *d * rot);
-            }
+            fill_rot(l, cfo_cycles, crot);
+            dechirp_into(window, self.chirps.downchirp(), Some(crot), cbuf);
         }
         plans.get(l).forward(cbuf);
     }
@@ -173,13 +183,11 @@ impl Demodulator {
     ) {
         let l = self.params.samples_per_symbol();
         assert_eq!(window.len(), l, "window must be one symbol long"); // tnb-lint: allow(TNB-PANIC02) -- documented `# Panics` precondition: a wrong-length window is a caller bug, not hostile input
-        let step = -2.0 * std::f64::consts::PI * cfo_cycles / l as f64;
-        let DspScratch { plans, cbuf, .. } = scratch;
-        cbuf.clear();
-        for (n, (w, u)) in window.iter().zip(self.chirps.upchirp()).enumerate() {
-            let rot = Complex32::from_phase(step * n as f64);
-            cbuf.push(*w * *u * rot);
-        }
+        let DspScratch {
+            plans, cbuf, crot, ..
+        } = scratch;
+        fill_rot(l, cfo_cycles, crot);
+        dechirp_into(window, self.chirps.upchirp(), Some(crot), cbuf);
         plans.get(l).forward(cbuf);
     }
 
@@ -191,10 +199,12 @@ impl Demodulator {
         let l = self.params.samples_per_symbol();
         debug_assert_eq!(spectrum.len(), l);
         out.clear();
-        out.extend((0..n).map(|k| {
-            let m = spectrum[k].abs() + spectrum[l - n + k].abs();
-            m * m
-        }));
+        out.resize(n.min(spectrum.len()), 0.0);
+        // The two alias segments: bins k and N(U−1)+k. The kernel trims
+        // to the common prefix, which is exactly `n` on a well-formed
+        // spectrum.
+        let back = spectrum.get(l - n..).unwrap_or(spectrum);
+        simd::fold_mag(spectrum, back, out);
     }
 
     /// Allocation-free [`Self::signal_vector`]: de-chirp, FFT and fold

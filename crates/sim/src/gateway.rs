@@ -150,6 +150,7 @@ pub fn run_loopback(cfg: &LoopbackConfig) -> io::Result<LoopbackOutcome> {
             params: cfg.params,
             streaming: cfg.streaming(),
             queue_chunks: 1024,
+            ..GatewayConfig::new(cfg.params)
         },
     )?;
     let addr = gw.local_addr();

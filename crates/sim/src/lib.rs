@@ -11,6 +11,7 @@ pub mod gateway;
 pub mod metrics;
 pub mod runner;
 pub mod traffic;
+pub mod wideband;
 
 pub use deployment::Deployment;
 pub use runner::{

@@ -1,0 +1,258 @@
+//! Wideband (multi-channel) loopback harness.
+//!
+//! Synthesizes an `M`-channel wideband IQ scene — one LoRa packet per
+//! occupied uplink channel, generated at `M×` oversampling and
+//! upconverted to its channel slot — and streams it through the gateway
+//! daemon with the wire protocol's WIDEBAND flag, checking the uplinked
+//! JSON lines are **byte-identical** to a direct in-process
+//! [`WidebandReceiver`] decode of the same wire-quantized samples. The
+//! same scene feeds the `channelizer_throughput` benchmark.
+
+use std::io;
+use std::time::Duration;
+
+use tnb_channel::trace::{PacketConfig, TraceBuilder};
+use tnb_core::{StreamingConfig, WidebandConfig, WidebandReceiver};
+use tnb_dsp::channelizer::upconvert;
+use tnb_dsp::{ChannelizerConfig, Complex32};
+use tnb_gateway::wire::quantize;
+use tnb_gateway::{uplink, Gateway, GatewayClient, GatewayConfig, GatewayStatsSnapshot};
+use tnb_phy::LoRaParams;
+
+/// One wideband loopback run's shape.
+#[derive(Debug, Clone)]
+pub struct WidebandLoopbackConfig {
+    /// PHY parameters of each narrowband channel.
+    pub params: LoRaParams,
+    /// Filterbank geometry (defines `M`, the channel count).
+    pub channelizer: ChannelizerConfig,
+    /// Channels carrying one packet each (`0..M`, ascending frequency).
+    pub occupied: Vec<usize>,
+    /// DATA-frame chunk length in wideband samples.
+    pub chunk: usize,
+    /// Synthesis seed.
+    pub seed: u64,
+}
+
+impl WidebandLoopbackConfig {
+    /// Default scene: packets on channels 1, 4 and 6 of an 8-channel
+    /// band, 40 k-sample chunks.
+    pub fn new(params: LoRaParams) -> Self {
+        WidebandLoopbackConfig {
+            params,
+            channelizer: ChannelizerConfig::default(),
+            occupied: vec![1, 4, 6],
+            chunk: 40_000,
+            seed: 40,
+        }
+    }
+}
+
+/// Synthesizes the wideband scene: one packet per occupied channel
+/// (payload derived from the channel index and `seed`), each layer
+/// generated at the wideband rate and upconverted to its slot. Unit
+/// noise rides on the first layer only, so the wideband floor stays
+/// near a single channel's. Trailing silence covers the filterbank's
+/// group delay so the last packet's tail cannot be clipped.
+///
+/// Returns `(scene, expected)` where `expected` pairs each occupied
+/// channel with its payload.
+pub fn wideband_scene(cfg: &WidebandLoopbackConfig) -> (Vec<Complex32>, Vec<(usize, Vec<u8>)>) {
+    let m = cfg.channelizer.channels.max(2);
+    let mut wide = cfg.params;
+    wide.osf *= m;
+    let expected: Vec<(usize, Vec<u8>)> = cfg
+        .occupied
+        .iter()
+        .map(|&c| {
+            let payload: Vec<u8> = (0..12)
+                .map(|j| (cfg.seed as u8) ^ (c as u8 * 37) ^ (j as u8 * 11) ^ 0xA5)
+                .collect();
+            (c % m, payload)
+        })
+        .collect();
+    let mut scene: Vec<Complex32> = Vec::new();
+    for (i, (c, payload)) in expected.iter().enumerate() {
+        let mut b = TraceBuilder::new(wide, cfg.seed + i as u64);
+        if i > 0 {
+            b = b.without_noise();
+        }
+        b.add_packet(
+            payload,
+            PacketConfig {
+                start_sample: (6_000 + 11_000 * i) * m,
+                snr_db: 25.0,
+                ..Default::default()
+            },
+        );
+        let mut layer = b.build().samples().to_vec();
+        upconvert(&mut layer, *c, m);
+        if scene.len() < layer.len() {
+            scene.resize(layer.len(), Complex32::ZERO);
+        }
+        for (dst, src) in scene.iter_mut().zip(&layer) {
+            *dst += *src;
+        }
+    }
+    let tail = 4 * cfg.params.samples_per_symbol() * m;
+    scene.resize(scene.len() + tail, Complex32::ZERO);
+    (scene, expected)
+}
+
+/// The reference transcript of a wideband stream: decodes the
+/// wire-quantized scene with a local [`WidebandReceiver`] pushed at
+/// exactly the daemon's chunk boundaries, rendering lines through the
+/// same serializers. Returns `(lines, per_channel_uplinks)`.
+pub fn wideband_reference_transcript(
+    cfg: &WidebandLoopbackConfig,
+    stream_id: u32,
+    quantized: &[Complex32],
+) -> (Vec<String>, Vec<u64>) {
+    let mut rx = WidebandReceiver::with_config(
+        cfg.params,
+        WidebandConfig {
+            channelizer: cfg.channelizer,
+            streaming: StreamingConfig::default(),
+        },
+    );
+    let mut lines = Vec::new();
+    let mut uplinked = 0u64;
+    let mut per_channel = vec![0u64; rx.channels()];
+    let emit = |cps: Vec<tnb_core::ChannelPacket>,
+                uplinked: &mut u64,
+                lines: &mut Vec<String>,
+                per_channel: &mut [u64]| {
+        for cp in cps {
+            lines.push(uplink::uplink_line_on_channel(
+                &cfg.params,
+                stream_id,
+                *uplinked,
+                cp.channel,
+                &cp.packet,
+            ));
+            *uplinked += 1;
+            per_channel[cp.channel] += 1;
+        }
+    };
+    for c in quantized.chunks(cfg.chunk.max(1)) {
+        let cps = rx.push(c);
+        emit(cps, &mut uplinked, &mut lines, &mut per_channel);
+    }
+    let cps = rx.finish();
+    emit(cps, &mut uplinked, &mut lines, &mut per_channel);
+    let mut report = tnb_core::DecodeReport::default();
+    for r in rx.reports() {
+        report.absorb(&r);
+    }
+    let position = rx.position(0) * rx.channels() as u64;
+    lines.push(uplink::end_line(stream_id, position, uplinked, &report));
+    (lines, per_channel)
+}
+
+/// What one wideband loopback run produced.
+#[derive(Debug)]
+pub struct WidebandOutcome {
+    /// Uplink + end lines received from the daemon, in arrival order.
+    pub daemon_lines: Vec<String>,
+    /// Reference lines from the direct in-process decode.
+    pub reference_lines: Vec<String>,
+    /// Decoded packets uplinked per channel (from the reference).
+    pub per_channel: Vec<u64>,
+    /// Wideband samples streamed.
+    pub samples: u64,
+    /// Final daemon counters.
+    pub stats: GatewayStatsSnapshot,
+}
+
+impl WidebandOutcome {
+    /// True when the daemon transcript equals the reference byte for
+    /// byte.
+    pub fn byte_identical(&self) -> bool {
+        self.daemon_lines == self.reference_lines
+    }
+}
+
+/// Runs one full wideband loopback: daemon up, stream the scene with
+/// the WIDEBAND flag, end the stream, collect the transcript, shut
+/// down.
+pub fn run_wideband_loopback(cfg: &WidebandLoopbackConfig) -> io::Result<WidebandOutcome> {
+    let (scene, _) = wideband_scene(cfg);
+    let gw = Gateway::spawn(
+        ("127.0.0.1", 0),
+        GatewayConfig {
+            params: cfg.params,
+            channelizer: cfg.channelizer,
+            queue_chunks: 1024,
+            ..GatewayConfig::new(cfg.params)
+        },
+    )?;
+    let mut client = GatewayClient::connect(gw.local_addr(), Duration::from_secs(5))?;
+    client.send_samples_wideband(0, &scene, cfg.chunk)?;
+    client.end_stream(0)?;
+    let daemon_lines = client.finish();
+    let stats = gw.join();
+
+    let quantized = quantize(&scene);
+    let (reference_lines, per_channel) = wideband_reference_transcript(cfg, 0, &quantized);
+    Ok(WidebandOutcome {
+        daemon_lines,
+        reference_lines,
+        per_channel,
+        samples: scene.len() as u64,
+        stats,
+    })
+}
+
+/// Wall-clock wideband loopback throughput for the benchmark artifact
+/// (timing is sim-layer only; the daemon never reads the wall clock).
+#[derive(Debug, Clone)]
+pub struct WidebandBench {
+    /// Decoded packets uplinked per wall-clock second, all channels.
+    pub packets_per_sec: f64,
+    /// Streamed wideband samples per wall-clock second.
+    pub samples_per_sec: f64,
+    /// Decoded packets per channel.
+    pub per_channel: Vec<u64>,
+    /// Total packets uplinked.
+    pub uplinked: u64,
+    /// Total wideband samples streamed.
+    pub samples: u64,
+    /// Whether the run was byte-identical to the reference decode.
+    pub byte_identical: bool,
+}
+
+impl WidebandBench {
+    /// JSON object for the benchmark artifact; `channels` is rendered
+    /// as a per-channel packet-count array.
+    pub fn to_json(&self) -> String {
+        let per: Vec<String> = self.per_channel.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"channels\":{},\"per_channel_packets\":[{}],\
+             \"packets_per_sec\":{:.2},\"samples_per_sec\":{:.0},\
+             \"uplinked\":{},\"samples\":{},\"byte_identical\":{}}}",
+            self.per_channel.len(),
+            per.join(","),
+            self.packets_per_sec,
+            self.samples_per_sec,
+            self.uplinked,
+            self.samples,
+            self.byte_identical
+        )
+    }
+}
+
+/// Times [`run_wideband_loopback`] end to end.
+pub fn bench_wideband(cfg: &WidebandLoopbackConfig) -> io::Result<WidebandBench> {
+    let t0 = std::time::Instant::now();
+    let outcome = run_wideband_loopback(cfg)?;
+    let dt = t0.elapsed().as_secs_f64().max(1e-9);
+    let uplinked: u64 = outcome.per_channel.iter().sum();
+    Ok(WidebandBench {
+        packets_per_sec: uplinked as f64 / dt,
+        samples_per_sec: outcome.samples as f64 / dt,
+        uplinked,
+        samples: outcome.samples,
+        byte_identical: outcome.byte_identical(),
+        per_channel: outcome.per_channel,
+    })
+}

@@ -10,6 +10,7 @@ pub mod allow_budget;
 pub mod determinism;
 pub mod no_alloc;
 pub mod panic_free;
+pub mod simd_hygiene;
 pub mod unsafe_hygiene;
 
 use crate::diagnostics::Diagnostic;
@@ -51,7 +52,7 @@ pub const PANIC_FREE_CRATES: [&str; 6] = [
 ];
 
 /// One registry entry: (ID, group, summary).
-pub const RULES: [(&str, &str, &str); 13] = [
+pub const RULES: [(&str, &str, &str); 14] = [
     (
         "TNB-DET01",
         "determinism",
@@ -96,6 +97,11 @@ pub const RULES: [(&str, &str, &str); 13] = [
         "TNB-UNSAFE01",
         "unsafe_hygiene",
         "`unsafe` without a `// SAFETY:` comment",
+    ),
+    (
+        "TNB-SIMD01",
+        "simd_hygiene",
+        "`#[target_feature]` kernel outside a `tnb-lint: no_alloc` region",
     ),
     (
         "TNB-LAYER01",
@@ -182,6 +188,7 @@ pub fn analyze_file(file: &str, scope: &FileScope, src: &SourceFile, diags: &mut
         }
     }
     unsafe_hygiene::check(&ctx, diags);
+    simd_hygiene::check(&ctx, diags);
     allow_budget::check(&ctx, diags);
     no_alloc::check(&ctx, diags);
     if scope.kind == FileKind::LibSrc {

@@ -1,0 +1,37 @@
+//! SIMD kernel hygiene (TNB-SIMD01): every `#[target_feature(...)]`
+//! function must sit inside a `// tnb-lint: no_alloc` region.
+//!
+//! `target_feature` marks a vector kernel on the per-symbol hot path;
+//! placing it inside a `no_alloc` region makes TNB-ALLOC01/TNB-PANIC04
+//! police its body, so a SIMD rewrite cannot quietly reintroduce
+//! per-symbol allocations or panicking slice indexing that the scalar
+//! path already eliminated.
+
+use super::{Ctx, FileKind};
+use crate::diagnostics::Diagnostic;
+
+pub fn check(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    if ctx.scope.kind != FileKind::LibSrc {
+        return;
+    }
+    for (i, line) in ctx.src.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let Some(col) = line.code.find("#[target_feature") else {
+            continue;
+        };
+        if !line.no_alloc {
+            ctx.emit(
+                diags,
+                i,
+                col,
+                "TNB-SIMD01",
+                "`#[target_feature]` kernel outside a `tnb-lint: no_alloc` region; \
+                 annotate the region so the hot-path allocation and indexing rules \
+                 cover the vector body"
+                    .to_string(),
+            );
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//@ crate: tnb-dsp
+//@ kind: lib
+//@ expect: TNB-SIMD01 @ 14
+
+/// In a no_alloc region: the hot-path rules cover the body (good).
+// tnb-lint: no_alloc
+#[target_feature(enable = "avx2")]
+/// SAFETY: caller checked AVX2.
+pub unsafe fn covered(x: &mut [f32]) {
+    // SAFETY: in-bounds by construction.
+    unsafe { *x.get_unchecked_mut(0) = 1.0 };
+}
+
+#[target_feature(enable = "avx2")]
+/// SAFETY: caller checked AVX2.
+pub unsafe fn uncovered(x: &mut [f32]) {
+    // SAFETY: in-bounds by construction.
+    unsafe { *x.get_unchecked_mut(0) = 2.0 };
+}
