@@ -53,22 +53,30 @@ commands:
       clean row is the fault-free baseline
 
   gateway serve --addr HOST:PORT --sf N [--cr N] [--workers N] [--queue N]
-                [--sic]
+                [--quota N] [--idle-timeout MS] [--max-conns N] [--sic]
       run the networked gateway daemon: framed IQ in over TCP, decoded
       packets out as JSON lines (Semtech-style rxpk objects with
-      sample-clock timestamps). Stops on a client SHUTDOWN verb
+      sample-clock timestamps). Stops on a client SHUTDOWN verb.
+      --idle-timeout disconnects silent peers after MS ms (0 = off),
+      --max-conns answers BUSY past N concurrent connections (0 = off),
+      --quota caps buffered chunks per stream (0 = off)
 
   gateway send --addr HOST:PORT (--trace FILE | --demo-collision)
                [--sf N] [--cr N] [--seed N] [--stream N] [--chunk N]
-               [--wideband] [--stats] [--shutdown]
+               [--wideband] [--stats] [--shutdown] [--chaos-seed N]
       stream a trace to a running daemon and print its uplink lines.
       --wideband marks every DATA frame with the WIDEBAND flag so the
-      daemon channelizes the stream into 8 uplink channels first
+      daemon channelizes the stream into 8 uplink channels first.
+      --chaos-seed routes the connection through an in-process
+      NetFaultPlan proxy (seeded injector picked from the matrix) and
+      drives it with the reconnect+RESUME resilient client
 
   gateway bench [--sf N] [--cr N] [--workers N,M] [--streams N]
-                [--packets N] [--seed N] [--json]
+                [--packets N] [--seed N] [--json] [--chaos-seed N]
       in-process loopback throughput of the daemon (also verifies the
-      uplink is byte-identical to a direct decode)
+      uplink is byte-identical to a direct decode). --chaos-seed runs
+      the seeded network-chaos soak matrix instead: every NetFaultPlan
+      injector against a live daemon, asserting transcript parity
 
   info --trace FILE
       print basic trace statistics";
@@ -612,6 +620,8 @@ fn gateway_serve(args: &[String]) -> Result<(), String> {
     let addr = flags.get("--addr").unwrap_or("127.0.0.1:7878");
     let params = parse_params(&flags)?;
     let workers: usize = flags.parse_or("--workers", 1usize)?.max(1);
+    let idle_ms: u64 = flags.parse_or("--idle-timeout", 0u64)?;
+    let max_conns: usize = flags.parse_or("--max-conns", 0usize)?;
     let cfg = tnb_gateway::GatewayConfig {
         params,
         streaming: StreamingConfig {
@@ -620,17 +630,31 @@ fn gateway_serve(args: &[String]) -> Result<(), String> {
             ..StreamingConfig::default()
         },
         queue_chunks: flags.parse_or("--queue", 256usize)?,
+        quota_chunks: flags.parse_or("--quota", 0usize)?,
+        idle_timeout: (idle_ms > 0).then(|| std::time::Duration::from_millis(idle_ms)),
+        max_conns,
         ..tnb_gateway::GatewayConfig::new(params)
     };
     let gw = tnb_gateway::Gateway::spawn(addr, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
-        "gateway listening on {} (sf {}, cr {}, {} worker{}, queue {} chunks)",
+        "gateway listening on {} (sf {}, cr {}, {} worker{}, queue {} chunks, \
+         idle-timeout {}, max-conns {})",
         gw.local_addr(),
         params.sf.value(),
         params.cr.value(),
         workers,
         if workers == 1 { "" } else { "s" },
         flags.parse_or("--queue", 256usize)?,
+        if idle_ms > 0 {
+            format!("{idle_ms}ms")
+        } else {
+            "off".into()
+        },
+        if max_conns > 0 {
+            max_conns.to_string()
+        } else {
+            "off".into()
+        },
     );
     // Serve until a client's SHUTDOWN verb flips the flag (the daemon
     // has no signal handling of its own — a wire verb is the one
@@ -666,6 +690,15 @@ fn gateway_send(args: &[String]) -> Result<(), String> {
     let _ = params;
     let stream_id: u32 = flags.parse_or("--stream", 0u32)?;
     let chunk: usize = flags.parse_or("--chunk", tnb_gateway::client::DEFAULT_CHUNK)?;
+    if let Some(chaos) = flags.get("--chaos-seed") {
+        let chaos_seed: u64 = chaos
+            .parse()
+            .map_err(|_| format!("bad value for --chaos-seed: {chaos}"))?;
+        if flags.has("--wideband") {
+            return Err("--chaos-seed does not support --wideband".into());
+        }
+        return gateway_send_chaos(&flags, addr, chaos_seed, stream_id, &samples, chunk);
+    }
     let mut client = tnb_gateway::GatewayClient::connect(
         addr,
         std::time::Duration::from_secs(flags.parse_or("--connect-timeout", 10u64)?),
@@ -697,6 +730,72 @@ fn gateway_send(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--chaos-seed` leg of `gateway send`: route the connection
+/// through an in-process [`NetFaultPlan`] proxy (the seed picks one
+/// injector from the matrix and its fault offsets) and drive it with
+/// the resilient client, proving reconnect+RESUME survives the fault.
+fn gateway_send_chaos(
+    flags: &Flags,
+    addr: &str,
+    chaos_seed: u64,
+    stream_id: u32,
+    samples: &[tnb_dsp::Complex32],
+    chunk: usize,
+) -> Result<(), String> {
+    use std::net::ToSocketAddrs;
+    let target = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("resolve {addr}: no address"))?;
+    let plans = tnb_gateway::NetFaultPlan::matrix(chaos_seed);
+    let pick = (chaos_seed % plans.len() as u64) as usize;
+    let plan = plans.into_iter().nth(pick).ok_or("empty chaos matrix")?;
+    eprintln!(
+        "chaos: injecting '{}' (seed {chaos_seed}) between client and {target}",
+        plan.name
+    );
+    let proxy =
+        tnb_gateway::ChaosProxy::spawn(target, plan).map_err(|e| format!("chaos proxy: {e}"))?;
+    let mut client = tnb_gateway::ResilientClient::connect(
+        proxy.local_addr(),
+        tnb_gateway::ResilientConfig {
+            seed: chaos_seed,
+            connect_timeout: std::time::Duration::from_secs(
+                flags.parse_or("--connect-timeout", 10u64)?,
+            ),
+            ..tnb_gateway::ResilientConfig::default()
+        },
+    )
+    .map_err(|e| format!("connect {addr}: {e}"))?;
+    client
+        .send_samples(stream_id, samples, chunk)
+        .map_err(|e| format!("stream: {e}"))?;
+    client
+        .end_stream(stream_id)
+        .map_err(|e| format!("stream: {e}"))?;
+    client.drain().map_err(|e| format!("drain: {e}"))?;
+    if flags.has("--stats") {
+        client.request_stats().map_err(|e| format!("stats: {e}"))?;
+    }
+    if flags.has("--shutdown") {
+        client
+            .request_shutdown()
+            .map_err(|e| format!("shutdown: {e}"))?;
+    }
+    let cstats = client.stats();
+    for line in client.finish() {
+        println!("{line}");
+    }
+    let (conns, up, down, faults) = proxy.stats();
+    eprintln!(
+        "chaos: {} reconnect(s), {} frame(s) resent, proxy saw {} connection(s), \
+         {} byte(s) up / {} down, {} fault(s) fired",
+        cstats.reconnects, cstats.retransmitted_frames, conns, up, down, faults
+    );
+    Ok(())
+}
+
 /// `tnb-cli gateway bench`: loopback throughput (daemon + client in one
 /// process) for the benchmark artifact.
 fn gateway_bench(args: &[String]) -> Result<(), String> {
@@ -705,6 +804,12 @@ fn gateway_bench(args: &[String]) -> Result<(), String> {
         .ok_or("--sf must be 7..=12")?;
     let cr = CodingRate::from_value(flags.parse_or("--cr", 4usize)?).ok_or("--cr must be 1..=4")?;
     let params = LoRaParams::new(sf, cr);
+    if let Some(chaos) = flags.get("--chaos-seed") {
+        let chaos_seed: u64 = chaos
+            .parse()
+            .map_err(|_| format!("bad value for --chaos-seed: {chaos}"))?;
+        return gateway_bench_chaos(&flags, params, chaos_seed);
+    }
     let workers_list: Vec<usize> = match flags.get("--workers") {
         None => vec![1, 4],
         Some(w) => w
@@ -739,6 +844,50 @@ fn gateway_bench(args: &[String]) -> Result<(), String> {
                 b.packets_per_sec,
                 b.samples_per_sec / 1e6,
                 b.uplinked,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// The `--chaos-seed` leg of `gateway bench`: the network-chaos soak.
+/// Runs every [`NetFaultPlan::matrix`] injector against a live daemon
+/// through the chaos proxy and errors unless every recoverable run's
+/// transcript is byte-identical to the clean reference.
+fn gateway_bench_chaos(flags: &Flags, params: LoRaParams, chaos_seed: u64) -> Result<(), String> {
+    let cfg = tnb_sim::chaos::ChaosConfig {
+        streams: flags.parse_or("--streams", 1u32)?,
+        packets: flags.parse_or("--packets", 2usize)?,
+        seed: flags.parse_or("--seed", 7u64)?,
+        chaos_seed,
+        ..tnb_sim::chaos::ChaosConfig::new(params)
+    };
+    let rows = tnb_sim::chaos::run_chaos_matrix(&cfg).map_err(|e| e.to_string())?;
+    for row in &rows {
+        if row.stats.worker_panics > 0 {
+            return Err(format!("chaos '{}': daemon worker panicked", row.scenario));
+        }
+        if row.recoverable && !row.parity {
+            return Err(format!(
+                "chaos '{}': transcript diverged from the clean run \
+                 (reconnects={}, resent={})",
+                row.scenario, row.reconnects, row.resent
+            ));
+        }
+    }
+    if flags.has("--json") {
+        println!("{}", tnb_sim::chaos::chaos_json(&rows));
+    } else {
+        for row in &rows {
+            println!(
+                "{:<18} parity={} reconnects={} resent={} faults={} parked={} resumed={}",
+                row.scenario,
+                row.parity,
+                row.reconnects,
+                row.resent,
+                row.proxy_faults,
+                row.stats.sessions_parked,
+                row.stats.sessions_resumed,
             );
         }
     }
@@ -873,6 +1022,33 @@ mod tests {
             ),
             (gateway(&s(&["bench", "--streams", "three"])), "--streams"),
             (gateway(&s(&["bench", "--workers", "1,x"])), "--workers"),
+            (
+                gateway(&s(&["serve", "--sf", "8", "--idle-timeout", "soon"])),
+                "--idle-timeout",
+            ),
+            (
+                gateway(&s(&["serve", "--sf", "8", "--max-conns", "lots"])),
+                "--max-conns",
+            ),
+            (
+                gateway(&s(&["serve", "--sf", "8", "--quota", "-3"])),
+                "--quota",
+            ),
+            (
+                gateway(&s(&[
+                    "send",
+                    "--addr",
+                    "x",
+                    "--demo-collision",
+                    "--chaos-seed",
+                    "lucky",
+                ])),
+                "--chaos-seed",
+            ),
+            (
+                gateway(&s(&["bench", "--chaos-seed", "0x1"])),
+                "--chaos-seed",
+            ),
         ];
         for (result, flag) in cases {
             let err = result.expect_err(flag);

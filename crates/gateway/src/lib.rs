@@ -15,21 +15,31 @@
 //!   (Semtech `PUSH_DATA`-style `rxpk` objects, timestamps from the
 //!   sample clock — never the wall clock).
 //! - [`client`] — the loopback client used by `tnb-sim`'s load
-//!   generator, the CLI, and the integration tests.
+//!   generator, the CLI, and the integration tests, plus the
+//!   resilient variant ([`client::ResilientClient`]) with
+//!   HELLO/RESUME sessions, seeded-backoff reconnect, and a bounded
+//!   resend-from-last-acked buffer.
 //! - [`stats`] — `Sync` control-plane counters ([`tnb_metrics::SharedCounter`])
 //!   exposed through the STATS verb.
+//! - [`netfaults`] — the deterministic network-chaos harness: a seeded
+//!   [`netfaults::NetFaultPlan`] of socket-layer injectors (partial
+//!   writes, split/coalesced reads, stall, disconnect-mid-frame, bit
+//!   flip) applied by an in-process [`netfaults::ChaosProxy`], the
+//!   transport-level mirror of the decode pipeline's `FaultPlan`.
 //!
 //! Everything is dependency-free (`std::net` only), and the whole
 //! uplink path is deterministic: streaming the same trace yields
 //! byte-identical JSON lines on every run and every worker count.
 
 pub mod client;
+pub mod netfaults;
 pub mod server;
 pub mod stats;
 pub mod uplink;
 pub mod wire;
 
-pub use client::GatewayClient;
+pub use client::{GatewayClient, ResilientClient, ResilientConfig, ResilientStats};
+pub use netfaults::{ChaosProxy, NetFault, NetFaultPlan};
 pub use server::{Gateway, GatewayConfig};
 pub use stats::{GatewayStats, GatewayStatsSnapshot};
 pub use wire::{Frame, FrameKind, FrameReader, WireError};

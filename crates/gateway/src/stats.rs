@@ -41,6 +41,37 @@ pub struct GatewayStats {
     /// Stream decodes that panicked and were contained (receiver
     /// replaced, connection kept alive).
     pub worker_panics: SharedCounter,
+    /// Connections disconnected because no frame arrived within the
+    /// configured idle deadline (dead peer; session parked if resumable).
+    pub idle_disconnects: SharedCounter,
+    /// Connections disconnected because an uplink write blocked past the
+    /// configured write deadline (slow consumer; session parked if
+    /// resumable).
+    pub write_timeouts: SharedCounter,
+    /// Connections rejected with BUSY by admission control (`max_conns`
+    /// reached).
+    pub busy_rejects: SharedCounter,
+    /// DATA frames shed at ingest: the incoming frame itself was dropped
+    /// because its stream was over its per-stream queue quota, or a
+    /// buffered chunk was evicted by the fair-share policy.
+    pub shed_frames: SharedCounter,
+    /// DATA frames re-sent by a resumed client that the per-stream seq
+    /// cursor had already delivered to the decoder; dropped without
+    /// decoding, so a resend is never uplinked twice.
+    pub retransmitted_frames: SharedCounter,
+    /// Sessions parked in the resume table after an unexpected
+    /// disconnect (EOF/error/idle/write-timeout with a HELLO'd session).
+    pub sessions_parked: SharedCounter,
+    /// Parked sessions successfully re-attached by a RESUME verb.
+    pub sessions_resumed: SharedCounter,
+    /// Parked sessions dropped because no RESUME arrived within the
+    /// grace window.
+    pub sessions_expired: SharedCounter,
+    /// PING frames answered with a pong line.
+    pub pings_answered: SharedCounter,
+    /// Socket-option configuration calls (read/write deadlines) that
+    /// failed; the connection proceeds without the deadline, visibly.
+    pub sock_config_errors: SharedCounter,
 }
 
 impl GatewayStats {
@@ -58,6 +89,16 @@ impl GatewayStats {
             protocol_errors: self.protocol_errors.get(),
             packets_uplinked: self.packets_uplinked.get(),
             worker_panics: self.worker_panics.get(),
+            idle_disconnects: self.idle_disconnects.get(),
+            write_timeouts: self.write_timeouts.get(),
+            busy_rejects: self.busy_rejects.get(),
+            shed_frames: self.shed_frames.get(),
+            retransmitted_frames: self.retransmitted_frames.get(),
+            sessions_parked: self.sessions_parked.get(),
+            sessions_resumed: self.sessions_resumed.get(),
+            sessions_expired: self.sessions_expired.get(),
+            pings_answered: self.pings_answered.get(),
+            sock_config_errors: self.sock_config_errors.get(),
         }
     }
 }
@@ -76,29 +117,58 @@ pub struct GatewayStatsSnapshot {
     pub protocol_errors: u64,
     pub packets_uplinked: u64,
     pub worker_panics: u64,
+    pub idle_disconnects: u64,
+    pub write_timeouts: u64,
+    pub busy_rejects: u64,
+    pub shed_frames: u64,
+    pub retransmitted_frames: u64,
+    pub sessions_parked: u64,
+    pub sessions_resumed: u64,
+    pub sessions_expired: u64,
+    pub pings_answered: u64,
+    pub sock_config_errors: u64,
 }
 
 impl GatewayStatsSnapshot {
+    /// Every counter as a `(name, value)` pair, in the stable JSON key
+    /// order.
+    pub fn fields(&self) -> [(&'static str, u64); 21] {
+        [
+            ("connections_accepted", self.connections_accepted),
+            ("connections_closed", self.connections_closed),
+            ("frames_in", self.frames_in),
+            ("chunks_in", self.chunks_in),
+            ("samples_in", self.samples_in),
+            ("chunks_dropped", self.chunks_dropped),
+            ("seq_gaps", self.seq_gaps),
+            ("seq_dups", self.seq_dups),
+            ("protocol_errors", self.protocol_errors),
+            ("packets_uplinked", self.packets_uplinked),
+            ("worker_panics", self.worker_panics),
+            ("idle_disconnects", self.idle_disconnects),
+            ("write_timeouts", self.write_timeouts),
+            ("busy_rejects", self.busy_rejects),
+            ("shed_frames", self.shed_frames),
+            ("retransmitted_frames", self.retransmitted_frames),
+            ("sessions_parked", self.sessions_parked),
+            ("sessions_resumed", self.sessions_resumed),
+            ("sessions_expired", self.sessions_expired),
+            ("pings_answered", self.pings_answered),
+            ("sock_config_errors", self.sock_config_errors),
+        ]
+    }
+
     /// Compact JSON object with one key per counter.
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"connections_accepted\":{},\"connections_closed\":{},\
-             \"frames_in\":{},\"chunks_in\":{},\"samples_in\":{},\
-             \"chunks_dropped\":{},\"seq_gaps\":{},\"seq_dups\":{},\
-             \"protocol_errors\":{},\
-             \"packets_uplinked\":{},\"worker_panics\":{}}}",
-            self.connections_accepted,
-            self.connections_closed,
-            self.frames_in,
-            self.chunks_in,
-            self.samples_in,
-            self.chunks_dropped,
-            self.seq_gaps,
-            self.seq_dups,
-            self.protocol_errors,
-            self.packets_uplinked,
-            self.worker_panics,
-        )
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.fields().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{value}"));
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -115,21 +185,16 @@ mod tests {
         assert_eq!(snap.frames_in, 3);
         assert_eq!(snap.chunks_dropped, 1);
         let json = snap.to_json();
-        for key in [
-            "connections_accepted",
-            "connections_closed",
-            "frames_in",
-            "chunks_in",
-            "samples_in",
-            "chunks_dropped",
-            "seq_gaps",
-            "seq_dups",
-            "protocol_errors",
-            "packets_uplinked",
-            "worker_panics",
-        ] {
+        for (key, _) in snap.fields() {
             assert!(json.contains(&format!("\"{key}\":")), "{json}");
         }
         assert!(json.contains("\"frames_in\":3"), "{json}");
+        // The resilience counters ride along in the same object.
+        stats.sessions_resumed.inc();
+        stats.shed_frames.add(2);
+        let json = stats.snapshot().to_json();
+        assert!(json.contains("\"sessions_resumed\":1"), "{json}");
+        assert!(json.contains("\"shed_frames\":2"), "{json}");
+        assert!(json.contains("\"busy_rejects\":0"), "{json}");
     }
 }

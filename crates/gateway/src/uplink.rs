@@ -138,6 +138,54 @@ pub fn stats_line(
     )
 }
 
+/// The HELLO reply: the session token this connection can later RESUME
+/// with, and the grace window (in milliseconds) a parked session
+/// survives a disconnect.
+pub fn hello_line(session: u32, grace_ms: u64) -> String {
+    format!("{{\"type\":\"hello\",\"session\":{session},\"grace_ms\":{grace_ms}}}")
+}
+
+/// The RESUME reply: the re-attached session plus each parked stream's
+/// state — its `next_seq` cursor (first sequence number the decoder has
+/// not consumed; resend from here) and how many packets it already
+/// uplinked.
+pub fn resumed_line(session: u32, streams: &[(u32, u32, u64)]) -> String {
+    let mut body = String::new();
+    for (i, (stream, next_seq, uplinked)) in streams.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"stream\":{stream},\"next_seq\":{next_seq},\"uplinked\":{uplinked}}}"
+        ));
+    }
+    format!("{{\"type\":\"resumed\",\"session\":{session},\"streams\":[{body}]}}")
+}
+
+/// A delivery acknowledgment: every DATA frame of `stream` with
+/// `seq <= ack` has been consumed by the decoder, so the client can
+/// drop those frames from its resend buffer.
+pub fn ack_line(stream: u32, ack: u32) -> String {
+    format!("{{\"type\":\"ack\",\"stream\":{stream},\"seq\":{ack}}}")
+}
+
+/// The PING reply, echoing the probe's nonce.
+pub fn pong_line(nonce: u32) -> String {
+    format!("{{\"type\":\"pong\",\"nonce\":{nonce}}}")
+}
+
+/// The admission-control reject: the daemon is at its connection cap;
+/// the client should back off and retry.
+pub fn busy_line(active: usize, max_conns: usize) -> String {
+    format!("{{\"type\":\"busy\",\"active\":{active},\"max_conns\":{max_conns}}}")
+}
+
+/// A graceful-close notice with a stable reason
+/// (`idle-timeout` / `write-timeout` / `unknown-session` / `shutdown`).
+pub fn goaway_line(reason: &str) -> String {
+    format!("{{\"type\":\"goaway\",\"reason\":\"{reason}\"}}")
+}
+
 /// A protocol-error line (`error` is a stable [`crate::wire::WireError`]
 /// name; `detail` is the human-readable rendering).
 pub fn error_line(error: &str, detail: &str) -> String {
@@ -226,6 +274,37 @@ mod tests {
         );
         // Narrowband lines carry no channel key.
         assert!(!uplink_line(&params, 2, 1, &pkt).contains("\"channel\""));
+    }
+
+    #[test]
+    fn control_lines_have_stable_shapes() {
+        assert_eq!(
+            hello_line(7, 30_000),
+            "{\"type\":\"hello\",\"session\":7,\"grace_ms\":30000}"
+        );
+        assert_eq!(
+            resumed_line(7, &[(0, 12, 3), (4, 1, 0)]),
+            "{\"type\":\"resumed\",\"session\":7,\"streams\":[\
+             {\"stream\":0,\"next_seq\":12,\"uplinked\":3},\
+             {\"stream\":4,\"next_seq\":1,\"uplinked\":0}]}"
+        );
+        assert_eq!(
+            resumed_line(9, &[]),
+            "{\"type\":\"resumed\",\"session\":9,\"streams\":[]}"
+        );
+        assert_eq!(
+            ack_line(3, 41),
+            "{\"type\":\"ack\",\"stream\":3,\"seq\":41}"
+        );
+        assert_eq!(pong_line(0xFFFF), "{\"type\":\"pong\",\"nonce\":65535}");
+        assert_eq!(
+            busy_line(8, 8),
+            "{\"type\":\"busy\",\"active\":8,\"max_conns\":8}"
+        );
+        assert_eq!(
+            goaway_line("idle-timeout"),
+            "{\"type\":\"goaway\",\"reason\":\"idle-timeout\"}"
+        );
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! 0       4     magic           "TNBG"
 //! 4       1     version         1
 //! 5       1     kind            0=DATA 1=END_STREAM 2=STATS 3=SHUTDOWN
+//!                               4=PING 5=PONG 6=HELLO 7=RESUME
+//!                               8=BUSY 9=GOAWAY
 //! 6       1     flags           bit 0 = WIDEBAND (DATA only); other bits
 //!                               must be 0 (reserved for extensions)
 //! 7       1     reserved        must be 0
@@ -75,6 +77,33 @@ pub enum FrameKind {
     /// Control verb: gracefully shut the whole daemon down (finish every
     /// in-flight stream, then stop accepting).
     Shutdown,
+    /// Keepalive probe: `seq` carries an opaque nonce the peer echoes
+    /// back. Any frame (PING included) resets the receiver's idle
+    /// deadline.
+    Ping,
+    /// Keepalive reply: `seq` echoes the PING nonce. On a live daemon
+    /// link the reply travels as a `pong` JSON line (the server→client
+    /// channel is line-oriented); the frame kind exists so symmetric /
+    /// frame-to-frame deployments and the chaos harness can speak it.
+    Pong,
+    /// Session open: asks the daemon to allocate a resumable session
+    /// for this connection. The daemon answers with a `hello` JSON line
+    /// carrying the session token.
+    Hello,
+    /// Session resume after a reconnect: `stream_id` carries the session
+    /// token from the original `hello` line. The daemon re-attaches the
+    /// parked per-stream receiver state and answers with a `resumed`
+    /// JSON line listing each stream's `next_seq` cursor, so the client
+    /// knows where to resend from.
+    Resume,
+    /// Admission-control reject: the peer is at capacity and this
+    /// connection will be closed (daemon side: a `busy` JSON line).
+    /// Back off and retry.
+    Busy,
+    /// Graceful connection close: the sender is done with this
+    /// connection and its session state should be *finished* (flushed +
+    /// reported), not parked for resume.
+    GoAway,
 }
 
 impl FrameKind {
@@ -84,6 +113,12 @@ impl FrameKind {
             FrameKind::EndStream => 1,
             FrameKind::Stats => 2,
             FrameKind::Shutdown => 3,
+            FrameKind::Ping => 4,
+            FrameKind::Pong => 5,
+            FrameKind::Hello => 6,
+            FrameKind::Resume => 7,
+            FrameKind::Busy => 8,
+            FrameKind::GoAway => 9,
         }
     }
 
@@ -93,6 +128,12 @@ impl FrameKind {
             1 => Some(FrameKind::EndStream),
             2 => Some(FrameKind::Stats),
             3 => Some(FrameKind::Shutdown),
+            4 => Some(FrameKind::Ping),
+            5 => Some(FrameKind::Pong),
+            6 => Some(FrameKind::Hello),
+            7 => Some(FrameKind::Resume),
+            8 => Some(FrameKind::Busy),
+            9 => Some(FrameKind::GoAway),
             _ => None,
         }
     }
@@ -161,6 +202,66 @@ impl Frame {
             seq: 0,
             samples: Vec::new(),
         }
+    }
+
+    /// A control frame with no payload and no flags.
+    fn control(kind: FrameKind, stream_id: u32, seq: u32) -> Frame {
+        Frame {
+            kind,
+            flags: 0,
+            stream_id,
+            seq,
+            samples: Vec::new(),
+        }
+    }
+
+    /// A PING keepalive probe carrying `nonce` in the seq field.
+    pub fn ping(nonce: u32) -> Frame {
+        Frame::control(FrameKind::Ping, 0, nonce)
+    }
+
+    /// A PONG keepalive reply echoing `nonce`.
+    pub fn pong(nonce: u32) -> Frame {
+        Frame::control(FrameKind::Pong, 0, nonce)
+    }
+
+    /// A HELLO session-open request.
+    pub fn hello() -> Frame {
+        Frame::control(FrameKind::Hello, 0, 0)
+    }
+
+    /// A RESUME request for the session identified by `token`. The seq
+    /// field carries `delivered` — how many session lines (uplink /
+    /// end / ack / stats / error) the client has already received — so
+    /// the daemon can replay exactly the lines lost with the dead
+    /// connection and nothing else.
+    pub fn resume(token: u32, delivered: u32) -> Frame {
+        Frame::control(FrameKind::Resume, token, delivered)
+    }
+
+    /// The delivered-lines count a RESUME frame carries.
+    pub fn delivered(&self) -> u32 {
+        self.seq
+    }
+
+    /// A BUSY admission-control reject.
+    pub fn busy() -> Frame {
+        Frame::control(FrameKind::Busy, 0, 0)
+    }
+
+    /// A GOAWAY graceful-close notice.
+    pub fn goaway() -> Frame {
+        Frame::control(FrameKind::GoAway, 0, 0)
+    }
+
+    /// The session token a RESUME frame carries.
+    pub fn session_token(&self) -> u32 {
+        self.stream_id
+    }
+
+    /// The nonce a PING/PONG frame carries.
+    pub fn nonce(&self) -> u32 {
+        self.seq
     }
 
     /// Whether this DATA frame carries wideband IQ.
@@ -569,10 +670,56 @@ mod tests {
 
     #[test]
     fn control_frames_roundtrip() {
-        for f in [Frame::end_stream(3, 9), Frame::stats(), Frame::shutdown()] {
+        for f in [
+            Frame::end_stream(3, 9),
+            Frame::stats(),
+            Frame::shutdown(),
+            Frame::ping(0xDEAD_BEEF),
+            Frame::pong(0xDEAD_BEEF),
+            Frame::hello(),
+            Frame::resume(0x1234_5678, 0xCAFE_F00D),
+            Frame::busy(),
+            Frame::goaway(),
+        ] {
             let bytes = encode_frame(&f);
             assert_eq!(bytes.len(), HEADER_LEN + CRC_LEN);
             assert_eq!(decode_frame_exact(&bytes).unwrap(), f);
+        }
+        assert_eq!(Frame::ping(7).nonce(), 7);
+        assert_eq!(Frame::pong(7).nonce(), 7);
+        assert_eq!(Frame::resume(42, 17).session_token(), 42);
+        assert_eq!(Frame::resume(42, 17).delivered(), 17);
+    }
+
+    #[test]
+    fn resilience_verbs_reject_payload_and_flags() {
+        // Every new control verb refuses a payload…
+        for f in [
+            Frame::ping(1),
+            Frame::pong(1),
+            Frame::hello(),
+            Frame::resume(9, 0),
+            Frame::busy(),
+            Frame::goaway(),
+        ] {
+            let mut bad = encode_frame(&f);
+            bad[16] = 2; // declare 2 payload samples
+            assert!(
+                matches!(
+                    decode_frame_exact(&bad),
+                    Err(WireError::ControlWithPayload { .. })
+                ),
+                "{:?}",
+                f.kind
+            );
+            // …and the WIDEBAND flag (DATA-only).
+            let mut bad = encode_frame(&f);
+            bad[6] = FLAG_WIDEBAND;
+            assert!(
+                matches!(decode_frame_exact(&bad), Err(WireError::BadFlags { .. })),
+                "{:?}",
+                f.kind
+            );
         }
     }
 

@@ -1,0 +1,247 @@
+//! Chaos soak harness for the gateway resilience layer.
+//!
+//! Runs the gateway loopback through a [`ChaosProxy`] under every
+//! scenario of [`NetFaultPlan::matrix`], driving traffic with the
+//! [`ResilientClient`] (HELLO/RESUME sessions, reconnect, resend), and
+//! checks the **recovery contract**: whenever reconnect+resend can
+//! recover — every matrix scenario, since destructive faults are
+//! one-shot — the uplink transcript (uplink + end lines, per stream)
+//! is byte-identical to a clean, fault-free run, and the daemon never
+//! panics.
+
+use std::io;
+use std::time::Duration;
+
+use tnb_gateway::netfaults::{ChaosProxy, NetFaultPlan};
+use tnb_gateway::wire::quantize;
+use tnb_gateway::{Gateway, GatewayConfig, GatewayStatsSnapshot, ResilientClient, ResilientConfig};
+use tnb_phy::LoRaParams;
+
+use crate::gateway::{collided_samples, reference_transcript};
+use tnb_core::StreamingConfig;
+
+/// One chaos run's shape (the traffic mirrors the loopback harness but
+/// with small chunks, so seeded fault offsets land mid-stream).
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// PHY parameters for synthesis and decode.
+    pub params: LoRaParams,
+    /// Concurrent streams multiplexed on the connection.
+    pub streams: u32,
+    /// Colliding packets synthesized per stream.
+    pub packets: usize,
+    /// DATA-frame chunk length in samples (small: ~16 KiB frames, so
+    /// the matrix's sub-64 KiB fault offsets hit mid-frame).
+    pub chunk: usize,
+    /// Traffic synthesis seed (stream `s` uses `seed + s`).
+    pub seed: u64,
+    /// Seed for [`NetFaultPlan::matrix`] and the client backoff jitter.
+    pub chaos_seed: u64,
+}
+
+impl ChaosConfig {
+    /// One 3-packet collision stream, 4096-sample chunks.
+    pub fn new(params: LoRaParams) -> Self {
+        ChaosConfig {
+            params,
+            streams: 1,
+            packets: 3,
+            chunk: 4096,
+            seed: 7,
+            chaos_seed: 1,
+        }
+    }
+}
+
+/// Outcome of one scenario of the chaos matrix.
+#[derive(Debug, Clone)]
+pub struct ChaosRow {
+    /// Scenario name from the fault plan.
+    pub scenario: &'static str,
+    /// Whether the plan guarantees reconnect+resend recovery.
+    pub recoverable: bool,
+    /// Uplink+end transcript byte-identical to the clean reference.
+    pub parity: bool,
+    /// Client-side reconnect cycles.
+    pub reconnects: u64,
+    /// Client-side frames re-sent after resume.
+    pub resent: u64,
+    /// Destructive proxy faults fired.
+    pub proxy_faults: u64,
+    /// Final daemon counters.
+    pub stats: GatewayStatsSnapshot,
+}
+
+impl ChaosRow {
+    /// JSON object for the chaos artifact.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"scenario\":\"{}\",\"recoverable\":{},\"parity\":{},\
+             \"reconnects\":{},\"resent\":{},\"proxy_faults\":{},\
+             \"worker_panics\":{},\"protocol_errors\":{},\
+             \"sessions_parked\":{},\"sessions_resumed\":{},\
+             \"retransmitted_frames\":{},\"seq_dups\":{},\
+             \"chunks_dropped\":{},\"shed_frames\":{},\"uplinked\":{}}}",
+            self.scenario,
+            self.recoverable,
+            self.parity,
+            self.reconnects,
+            self.resent,
+            self.proxy_faults,
+            self.stats.worker_panics,
+            self.stats.protocol_errors,
+            self.stats.sessions_parked,
+            self.stats.sessions_resumed,
+            self.stats.retransmitted_frames,
+            self.stats.seq_dups,
+            self.stats.chunks_dropped,
+            self.stats.shed_frames,
+            self.stats.packets_uplinked,
+        )
+    }
+}
+
+/// Keeps only the lines that define the decode transcript (uplink and
+/// end), dropping control chatter (hello/resumed/ack/goaway/...).
+pub fn uplink_transcript(lines: &[String]) -> Vec<String> {
+    lines
+        .iter()
+        .filter(|l| l.starts_with("{\"type\":\"uplink\"") || l.starts_with("{\"type\":\"end\""))
+        .cloned()
+        .collect()
+}
+
+/// Splits a transcript per stream id, preserving arrival order.
+fn per_stream(lines: &[String], streams: u32) -> Vec<Vec<String>> {
+    let mut out: Vec<Vec<String>> = vec![Vec::new(); streams as usize];
+    for line in lines {
+        for s in 0..streams {
+            if line.contains(&format!("\"stream\":{s},")) {
+                out[s as usize].push(line.clone());
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Runs one scenario: daemon up, chaos proxy in front under `plan`,
+/// resilient client streaming the configured collided traffic through
+/// it, transcript compared (uplink+end lines, per stream) against the
+/// direct in-process reference decode.
+pub fn run_chaos_case(cfg: &ChaosConfig, plan: NetFaultPlan) -> io::Result<ChaosRow> {
+    let scenario = plan.name;
+    let recoverable = plan.recoverable;
+    let gw = Gateway::spawn(
+        ("127.0.0.1", 0),
+        GatewayConfig {
+            queue_chunks: 1024,
+            ack_every: 4,
+            resume_grace: Duration::from_secs(30),
+            ..GatewayConfig::new(cfg.params)
+        },
+    )?;
+    let proxy = ChaosProxy::spawn(gw.local_addr(), plan)?;
+    let mut client = ResilientClient::connect(
+        proxy.local_addr(),
+        ResilientConfig {
+            seed: cfg.chaos_seed,
+            max_reconnects: 10,
+            base_delay: Duration::from_millis(20),
+            reply_timeout: Duration::from_secs(10),
+            ..ResilientConfig::default()
+        },
+    )?;
+
+    let streaming = StreamingConfig::default();
+    let mut reference = Vec::new();
+    for s in 0..cfg.streams {
+        let samples = collided_samples(cfg.params, cfg.seed + s as u64, cfg.packets);
+        client.send_samples(s, &samples, cfg.chunk)?;
+        client.end_stream(s)?;
+        let quantized = quantize(&samples);
+        let (lines, _) = reference_transcript(cfg.params, streaming, s, &quantized, cfg.chunk);
+        reference.push(lines);
+    }
+    client.drain()?;
+    let client_stats = client.stats();
+    let transcript = client.finish();
+    let stats = gw.join();
+    let (_, _, _, proxy_faults) = proxy.stats();
+    drop(proxy);
+
+    let daemon_lines = per_stream(&uplink_transcript(&transcript), cfg.streams);
+    Ok(ChaosRow {
+        scenario,
+        recoverable,
+        parity: daemon_lines == reference,
+        reconnects: client_stats.reconnects,
+        resent: client_stats.retransmitted_frames,
+        proxy_faults,
+        stats,
+    })
+}
+
+/// Runs the full chaos matrix for `cfg.chaos_seed`.
+pub fn run_chaos_matrix(cfg: &ChaosConfig) -> io::Result<Vec<ChaosRow>> {
+    NetFaultPlan::matrix(cfg.chaos_seed)
+        .into_iter()
+        .map(|plan| run_chaos_case(cfg, plan))
+        .collect()
+}
+
+/// The chaos artifact: `{"gateway_chaos":[row, ...]}`.
+pub fn chaos_json(rows: &[ChaosRow]) -> String {
+    let body: Vec<String> = rows.iter().map(ChaosRow::to_json).collect();
+    format!("{{\"gateway_chaos\":[{}]}}", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uplink_transcript_filters_control_chatter() {
+        let lines = vec![
+            "{\"type\":\"hello\",\"session\":1,\"grace_ms\":1}".to_owned(),
+            "{\"type\":\"uplink\",\"stream\":0,\"n\":0,\"x\":1}".to_owned(),
+            "{\"type\":\"ack\",\"stream\":0,\"seq\":3}".to_owned(),
+            "{\"type\":\"end\",\"stream\":0,\"samples\":9}".to_owned(),
+            "{\"type\":\"goaway\",\"reason\":\"shutdown\"}".to_owned(),
+        ];
+        let kept = uplink_transcript(&lines);
+        assert_eq!(kept.len(), 2);
+        assert!(kept[0].contains("uplink") && kept[1].contains("end"));
+    }
+
+    #[test]
+    fn chaos_row_json_is_flat_and_complete() {
+        let row = ChaosRow {
+            scenario: "bitflip",
+            recoverable: true,
+            parity: true,
+            reconnects: 1,
+            resent: 4,
+            proxy_faults: 1,
+            stats: GatewayStatsSnapshot::default(),
+        };
+        let json = row.to_json();
+        for key in [
+            "scenario",
+            "recoverable",
+            "parity",
+            "reconnects",
+            "resent",
+            "proxy_faults",
+            "worker_panics",
+            "sessions_resumed",
+            "retransmitted_frames",
+        ] {
+            assert!(json.contains(&format!("\"{key}\":")), "{json}");
+        }
+        assert!(json.contains("\"scenario\":\"bitflip\""));
+        let wrapped = chaos_json(&[row.clone(), row]);
+        assert!(wrapped.starts_with("{\"gateway_chaos\":["));
+        assert!(wrapped.ends_with("]}"));
+    }
+}

@@ -6,6 +6,7 @@
 //! metrics the figures report (throughput, PRR, medium usage, collision
 //! level, BEC-rescued codewords).
 
+pub mod chaos;
 pub mod deployment;
 pub mod gateway;
 pub mod metrics;
