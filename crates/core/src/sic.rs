@@ -121,7 +121,7 @@ fn fractional_delay_in_place(samples: &mut Vec<Complex32>, frac: f64) {
 /// Rotates `samples` by a CFO of `cfo_cycles` bins per symbol of length
 /// `samples_per_symbol`, phase-referenced to the packet start (index 0) —
 /// the same convention as the channel model's `apply_cfo`.
-// tnb-lint: no_alloc -- per-sample rotation over a caller-owned buffer
+// tnb-lint: no_alloc_root -- per-sample rotation over a caller-owned buffer
 pub fn rotate_cfo(samples: &mut [Complex32], cfo_cycles: f64, samples_per_symbol: usize) {
     if cfo_cycles == 0.0 {
         return;
@@ -140,7 +140,7 @@ pub fn rotate_cfo(samples: &mut [Complex32], cfo_cycles: f64, samples_per_symbol
 /// block with no usable overlap gets gain zero (its subtraction is a
 /// no-op). Accumulation is in `f64` so even the longest (SF12) blocks
 /// cost no precision.
-// tnb-lint: no_alloc -- pushes into a caller-owned, amortized-capacity buffer
+// tnb-lint: no_alloc_root -- pushes into a caller-owned, amortized-capacity buffer
 pub fn estimate_block_gains(
     rx: &[Complex32],
     replica: &[Complex32],
@@ -185,7 +185,7 @@ pub fn estimate_block_gains(
 /// gains are placeholders for off-trace blocks). With a unit-amplitude
 /// replica this is the estimated received signal power per sample, so
 /// `10·log₁₀(mean/noise_power)` is the packet's estimated SNR.
-// tnb-lint: no_alloc
+// tnb-lint: no_alloc_root
 pub fn mean_gain_power(gains: &[(f64, f64)]) -> f64 {
     let mut sum = 0.0f64;
     let mut n = 0usize;
@@ -206,7 +206,7 @@ pub fn mean_gain_power(gains: &[(f64, f64)]) -> f64 {
 /// Subtracts `gains[k] · replica[n]` from `residual[offset + n]` for
 /// every block `k`, skipping out-of-range samples. `block` and `offset`
 /// must match the [`estimate_block_gains`] call that produced `gains`.
-// tnb-lint: no_alloc -- in-place subtraction over caller-owned buffers
+// tnb-lint: no_alloc_root -- in-place subtraction over caller-owned buffers
 pub fn subtract_replica(
     residual: &mut [Complex32],
     replica: &[Complex32],

@@ -102,7 +102,7 @@ impl<'a> SigCalc<'a> {
     /// Signal vector of data symbol `j` of `pkt` (id `pkt_id`), summed
     /// over antennas; `None` when the window runs off the trace. Results
     /// are cached.
-    // tnb-lint: no_alloc -- steady-state symbol path: cache hits are free, misses draw from the scratch pool
+    // tnb-lint: no_alloc_root -- steady-state symbol path: cache hits are free, misses draw from the scratch pool
     pub fn symbol_vector(
         &mut self,
         pkt_id: usize,
@@ -122,7 +122,6 @@ impl<'a> SigCalc<'a> {
         self.cache.get(&key).and_then(Option::as_ref)
     }
 
-    // tnb-lint: no_alloc
     fn compute(&mut self, pkt: &DetectedPacket, j: isize) -> Option<Vec<f32>> {
         let l = self.params().samples_per_symbol();
         let start = self.symbol_start(pkt, j);

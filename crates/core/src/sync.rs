@@ -93,7 +93,7 @@ pub fn fractional_sync_observed(
 /// [`fractional_sync`] with a caller-owned [`DspScratch`], so the 36-point
 /// search performs no per-evaluation allocations. Results are bit-identical
 /// to the allocating path.
-// tnb-lint: no_alloc -- the 36-point (δt, δf) search runs per detected packet; every buffer lives in the scratch
+// tnb-lint: no_alloc_root -- the 36-point (δt, δf) search runs per detected packet; every buffer lives in the scratch
 pub fn fractional_sync_scratch(
     samples: &[Complex32],
     demod: &Demodulator,
@@ -175,7 +175,6 @@ pub fn fractional_sync_scratch(
 /// `(δt, δf)`: sums the complex spectra of the 8 upchirp windows and the 2
 /// full downchirp windows, CFO-corrected by `cfo` bins, with the windows
 /// shifted by `dt_chips` chips.
-// tnb-lint: no_alloc
 fn evaluate_q(
     samples: &[Complex32],
     demod: &Demodulator,

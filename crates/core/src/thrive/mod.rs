@@ -257,7 +257,7 @@ pub fn assign_checkpoint(
 /// [`assign_checkpoint`] with reusable working storage: assignments are
 /// written to `out` (cleared first), and all intermediates live in `ws`.
 /// Produces exactly the assignments of the allocating path.
-// tnb-lint: no_alloc -- per-checkpoint assignment runs in the symbol loop; intermediates live in CheckpointScratch
+// tnb-lint: no_alloc_root -- per-checkpoint assignment runs in the symbol loop; intermediates live in CheckpointScratch
 pub fn assign_checkpoint_scratch(
     sigcalc: &mut SigCalc<'_>,
     packets: &[DetectedPacket],
@@ -471,7 +471,6 @@ pub fn assign_checkpoint_scratch(
 
 /// Strongest bin not within `tol` of any masked location; falls back to
 /// the raw argmax if everything is masked.
-// tnb-lint: no_alloc
 fn fallback_bin(v: &[f32], masks: &[i64], dynamic: &[i64], tol: i64) -> (i64, f32) {
     let n = v.len() as i64;
     let mut best: Option<(i64, f32)> = None;

@@ -296,7 +296,7 @@ struct Link {
 }
 
 impl Link {
-    fn lock(&self) -> MutexGuard<'_, LinkState> {
+    fn lock_state(&self) -> MutexGuard<'_, LinkState> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
@@ -335,7 +335,7 @@ fn spawn_link_reader(read_half: TcpStream, link: Arc<Link>) -> JoinHandle<()> {
     thread::spawn(move || {
         for line in BufReader::new(read_half).lines() {
             let Ok(l) = line else { break };
-            let mut st = link.lock();
+            let mut st = link.lock_state();
             if l.starts_with("{\"type\":\"hello\"") {
                 st.session = json_u64(&l, "session").map(|v| v as u32);
             } else if l.starts_with("{\"type\":\"resumed\"") {
@@ -470,7 +470,7 @@ impl ResilientClient {
     /// line. Returns whether it arrived within the reply timeout.
     pub fn ping(&mut self, nonce: u32) -> io::Result<bool> {
         {
-            let mut st = self.link.lock();
+            let mut st = self.link.lock_state();
             st.last_pong = None;
         }
         self.sock.write_all(&encode_frame(&Frame::ping(nonce)))?;
@@ -505,7 +505,7 @@ impl ResilientClient {
                 return Ok(());
             }
             let before = {
-                let st = self.link.lock();
+                let st = self.link.lock_state();
                 st.acks.clone()
             };
             if self.wait_until(self.cfg.reply_timeout, |st| st.acks != before) {
@@ -533,7 +533,7 @@ impl ResilientClient {
         if let Some(h) = self.reader.take() {
             let _ = h.join();
         }
-        let mut st = self.link.lock();
+        let mut st = self.link.lock_state();
         std::mem::take(&mut st.lines)
     }
 
@@ -573,7 +573,7 @@ impl ResilientClient {
     /// u32-wraparound aware).
     fn prune_acked(&mut self) {
         let acks = {
-            let st = self.link.lock();
+            let st = self.link.lock_state();
             st.acks.clone()
         };
         self.buffer.retain(|f| match acks.get(&f.stream_id) {
@@ -619,7 +619,7 @@ impl ResilientClient {
             self.sock = sock;
             self.reader = Some(spawn_link_reader(read_half, Arc::clone(&self.link)));
             let (goaways_before, delivered) = {
-                let mut st = self.link.lock();
+                let mut st = self.link.lock_state();
                 st.resume_cursors = None;
                 (st.goaways, st.session_lines)
             };
@@ -637,7 +637,7 @@ impl ResilientClient {
                 continue;
             }
             let cursors = {
-                let mut st = self.link.lock();
+                let mut st = self.link.lock_state();
                 st.resume_cursors.take()
             };
             let Some(cursors) = cursors else {
@@ -681,7 +681,7 @@ impl ResilientClient {
     fn wait_state<T, F: Fn(&LinkState) -> Option<T>>(&self, timeout: Duration, f: F) -> Option<T> {
         // tnb-lint: allow(TNB-DET01) -- control-plane reply deadline, never on the decode path
         let deadline = Instant::now() + timeout;
-        let mut st = self.link.lock();
+        let mut st = self.link.lock_state();
         loop {
             if let Some(v) = f(&st) {
                 return Some(v);

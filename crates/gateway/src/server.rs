@@ -216,7 +216,7 @@ impl Ingest {
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, IngestState> {
+    fn lock_queue(&self) -> MutexGuard<'_, IngestState> {
         // A poisoned queue mutex only means a decoder panicked while
         // holding it; the queue data is still structurally valid.
         self.state.lock().unwrap_or_else(|e| e.into_inner())
@@ -225,7 +225,7 @@ impl Ingest {
     /// Enqueues `w`, applying the per-stream quota and the fair-share
     /// eviction policy to DATA chunks.
     fn push(&self, w: Work) -> PushOutcome {
-        let mut st = self.lock();
+        let mut st = self.lock_queue();
         let mut evicted = 0u64;
         if let Work::Chunk { stream_id, .. } = w {
             let held = st.per_stream.get(&stream_id).copied().unwrap_or(0);
@@ -270,7 +270,7 @@ impl Ingest {
     /// Blocks until an item is available. The reader always enqueues a
     /// [`Work::Terminal`] before exiting, so this cannot hang forever.
     fn pop(&self) -> Work {
-        let mut st = self.lock();
+        let mut st = self.lock_queue();
         loop {
             if let Some(w) = st.items.pop_front() {
                 if let Work::Chunk { stream_id, .. } = &w {
@@ -346,21 +346,21 @@ struct SessionTable {
 }
 
 impl SessionTable {
-    fn lock(&self) -> MutexGuard<'_, BTreeMap<u32, Parked>> {
+    fn lock_table(&self) -> MutexGuard<'_, BTreeMap<u32, Parked>> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     fn park(&self, token: u32, parked: Parked) {
-        self.lock().insert(token, parked);
+        self.lock_table().insert(token, parked);
     }
 
     fn resume(&self, token: u32) -> Option<Parked> {
-        self.lock().remove(&token)
+        self.lock_table().remove(&token)
     }
 
     /// Drops entries whose grace window has passed; returns how many.
     fn prune(&self, now: Instant) -> u64 {
-        let mut table = self.lock();
+        let mut table = self.lock_table();
         let before = table.len();
         table.retain(|_, p| p.deadline > now);
         (before - table.len()) as u64

@@ -17,7 +17,6 @@ use tnb_dsp::{simd, Complex32, DspScratch, FftPlan};
 
 /// Fills `rot` with the CFO-removal rotator `e^{-j2π·δ·n/L}` for
 /// `n in 0..l` (phase accumulated in `f64`, as everywhere else).
-// tnb-lint: no_alloc -- refills a caller-owned buffer, capacity reused
 fn fill_rot(l: usize, cfo_cycles: f64, rot: &mut Vec<Complex32>) {
     let step = -2.0 * std::f64::consts::PI * cfo_cycles / l as f64;
     rot.clear();
@@ -28,7 +27,6 @@ fn fill_rot(l: usize, cfo_cycles: f64, rot: &mut Vec<Complex32>) {
 /// CFO rotator is applied as a second elementwise multiply, preserving
 /// the scalar association `(w·d)·rot` bit-for-bit. Both multiplies run
 /// on the dispatched SIMD kernel.
-// tnb-lint: no_alloc -- two kernel passes over caller-owned buffers
 fn dechirp_into(
     window: &[Complex32],
     chirp: &[Complex32],
@@ -151,7 +149,7 @@ impl Demodulator {
     /// spectrum is left in `scratch.cbuf`.
     ///
     /// Produces bit-identical values to the allocating path.
-    // tnb-lint: no_alloc -- de-chirp + in-place FFT inside the warm scratch
+    // tnb-lint: no_alloc_root -- de-chirp + in-place FFT inside the warm scratch
     pub fn complex_spectrum_scratch(
         &self,
         window: &[Complex32],
@@ -174,7 +172,7 @@ impl Demodulator {
 
     /// Allocation-free [`Self::complex_spectrum_down`]: the upchirp-dechirped
     /// spectrum is left in `scratch.cbuf`.
-    // tnb-lint: no_alloc -- upchirp de-chirp + in-place FFT inside the warm scratch
+    // tnb-lint: no_alloc_root -- upchirp de-chirp + in-place FFT inside the warm scratch
     pub fn complex_spectrum_down_scratch(
         &self,
         window: &[Complex32],
@@ -193,7 +191,7 @@ impl Demodulator {
 
     /// [`Self::fold`] into a caller-owned buffer (cleared and refilled;
     /// capacity is reused across calls).
-    // tnb-lint: no_alloc -- fold into a caller-owned buffer, capacity reused
+    // tnb-lint: no_alloc_root -- fold into a caller-owned buffer, capacity reused
     pub fn fold_into(&self, spectrum: &[Complex32], out: &mut Vec<f32>) {
         let n = self.params.n();
         let l = self.params.samples_per_symbol();
@@ -210,7 +208,7 @@ impl Demodulator {
     /// Allocation-free [`Self::signal_vector`]: de-chirp, FFT and fold
     /// entirely inside `scratch`. The length-`N` signal vector is left in
     /// `scratch.fbuf` (and `scratch.cbuf` holds the complex spectrum).
-    // tnb-lint: no_alloc -- full symbol path: de-chirp, FFT, fold, all in scratch
+    // tnb-lint: no_alloc_root -- full symbol path: de-chirp, FFT, fold, all in scratch
     pub fn signal_vector_scratch(
         &self,
         window: &[Complex32],
@@ -224,7 +222,7 @@ impl Demodulator {
 
     /// Allocation-free [`Self::signal_vector_down`]: result in
     /// `scratch.fbuf`.
-    // tnb-lint: no_alloc -- downchirp symbol path, all in scratch
+    // tnb-lint: no_alloc_root -- downchirp symbol path, all in scratch
     pub fn signal_vector_down_scratch(
         &self,
         window: &[Complex32],

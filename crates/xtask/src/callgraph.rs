@@ -1,0 +1,276 @@
+//! Pass 2a: the workspace call graph over the pass-1 item models.
+//!
+//! Name resolution is deliberately conservative — a dropped edge only
+//! costs recall (std-library effects are covered by the seed tables
+//! instead), while a false edge would produce false interprocedural
+//! findings. The rules:
+//!
+//! * `.method(` calls resolve **same-file only** (a cross-file method
+//!   name like `.get(` would otherwise alias every container in the
+//!   crate);
+//! * bare `f(` calls and `Type::method(` calls resolve same-file first,
+//!   then same-crate **iff the name is unique** in the crate;
+//! * `crate::`/`self::`/`super::`/module-qualified calls resolve
+//!   same-crate iff unique;
+//! * `tnb_xxx::` calls resolve into that crate iff unique;
+//! * `std::`/`core::`/`alloc::` and anything unresolved produce no edge.
+//!
+//! Only library-source, non-test fns participate: a test helper sharing
+//! a name with production code must never become a callee.
+
+use crate::model::FileModel;
+use crate::rules::FileKind;
+use std::collections::BTreeMap;
+
+/// Global fn id → (file index, fn index within that file's model).
+#[derive(Debug, Clone, Copy)]
+pub struct FnRef {
+    pub file: usize,
+    pub item: usize,
+}
+
+/// One resolved call edge, anchored at its call site in the caller.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    pub callee: usize,
+    /// 0-based call-site position in the caller's file.
+    pub line: usize,
+    pub col: usize,
+}
+
+/// The workspace call graph.
+#[derive(Debug)]
+pub struct Graph {
+    pub fns: Vec<FnRef>,
+    /// Outgoing edges per global fn id.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+impl Graph {
+    pub fn fn_name<'m>(&self, models: &'m [FileModel], id: usize) -> &'m str {
+        let r = self.fns[id];
+        &models[r.file].fns[r.item].name
+    }
+}
+
+/// Builds the graph over every library-source, non-test fn in `models`.
+pub fn build(models: &[FileModel]) -> Graph {
+    let mut fns = Vec::new();
+    // (file, item) -> global id, plus name indices for resolution.
+    let mut id_of: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut by_file: BTreeMap<(usize, String), Vec<usize>> = BTreeMap::new();
+    let mut by_crate: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+    for (fi, m) in models.iter().enumerate() {
+        if m.scope.kind != FileKind::LibSrc {
+            continue;
+        }
+        for (ii, f) in m.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            let id = fns.len();
+            fns.push(FnRef { file: fi, item: ii });
+            id_of.insert((fi, ii), id);
+            by_file.entry((fi, f.name.clone())).or_default().push(id);
+            by_crate
+                .entry((m.scope.crate_name.clone(), f.name.clone()))
+                .or_default()
+                .push(id);
+        }
+    }
+    let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); fns.len()];
+    for (caller, r) in fns.iter().enumerate() {
+        let m = &models[r.file];
+        let f = &m.fns[r.item];
+        for call in &f.calls {
+            let targets = resolve(call, r.file, &m.scope.crate_name, &by_file, &by_crate);
+            for callee in targets {
+                if callee != caller {
+                    edges[caller].push(Edge {
+                        callee,
+                        line: call.line,
+                        col: call.col,
+                    });
+                }
+            }
+        }
+    }
+    Graph { fns, edges }
+}
+
+/// Resolves one call site to zero or more callee ids.
+fn resolve(
+    call: &crate::model::CallSite,
+    file: usize,
+    crate_name: &str,
+    by_file: &BTreeMap<(usize, String), Vec<usize>>,
+    by_crate: &BTreeMap<(String, String), Vec<usize>>,
+) -> Vec<usize> {
+    let in_file = || {
+        by_file
+            .get(&(file, call.callee.clone()))
+            .cloned()
+            .unwrap_or_default()
+    };
+    let in_crate_unique = |krate: &str| {
+        by_crate
+            .get(&(krate.to_string(), call.callee.clone()))
+            .filter(|ids| ids.len() == 1)
+            .cloned()
+            .unwrap_or_default()
+    };
+    if call.is_method {
+        return in_file();
+    }
+    match call.path.first().map(String::as_str) {
+        None => {
+            // Bare call: same file first, same crate when unique.
+            let local = in_file();
+            if local.is_empty() {
+                in_crate_unique(crate_name)
+            } else {
+                local
+            }
+        }
+        Some("std") | Some("core") | Some("alloc") => Vec::new(),
+        Some(first) if first.starts_with("tnb_") => in_crate_unique(&first.replace('_', "-")),
+        Some(first) if first.starts_with(|c: char| c.is_ascii_uppercase()) => {
+            // `Type::method(`: the type is most likely defined alongside
+            // its use; fall back to a unique crate-wide name.
+            let local = in_file();
+            if local.is_empty() {
+                in_crate_unique(crate_name)
+            } else {
+                local
+            }
+        }
+        // `crate::` / `self::` / `super::` / `module::` paths.
+        Some(_) => in_crate_unique(crate_name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model;
+    use crate::rules::{FileKind, FileScope};
+    use crate::source::SourceFile;
+
+    fn models(files: &[(&str, &str, FileKind, &str)]) -> Vec<FileModel> {
+        files
+            .iter()
+            .map(|(path, krate, kind, content)| {
+                let scope = FileScope {
+                    crate_name: krate.to_string(),
+                    kind: *kind,
+                };
+                model::build(path, &scope, &SourceFile::parse(content))
+            })
+            .collect()
+    }
+
+    fn edge_names(g: &Graph, ms: &[FileModel], caller: &str) -> Vec<String> {
+        let id = (0..g.fns.len())
+            .find(|&i| g.fn_name(ms, i) == caller)
+            .expect("caller in graph");
+        g.edges[id]
+            .iter()
+            .map(|e| g.fn_name(ms, e.callee).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn bare_calls_resolve_same_file_then_unique_crate() {
+        let ms = models(&[
+            (
+                "crates/core/src/a.rs",
+                "tnb-core",
+                FileKind::LibSrc,
+                "fn top() {\n    local();\n    other_file();\n}\nfn local() {}\n",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "tnb-core",
+                FileKind::LibSrc,
+                "pub fn other_file() {}\n",
+            ),
+        ]);
+        let g = build(&ms);
+        assert_eq!(edge_names(&g, &ms, "top"), ["local", "other_file"]);
+    }
+
+    #[test]
+    fn method_calls_resolve_same_file_only() {
+        let ms = models(&[
+            (
+                "crates/core/src/a.rs",
+                "tnb-core",
+                FileKind::LibSrc,
+                "fn top(c: Cache) {\n    c.get(1);\n}\n",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "tnb-core",
+                FileKind::LibSrc,
+                "pub fn get(k: u32) {}\n",
+            ),
+        ]);
+        let g = build(&ms);
+        assert!(edge_names(&g, &ms, "top").is_empty());
+    }
+
+    #[test]
+    fn cross_crate_paths_resolve_when_unique() {
+        let ms = models(&[
+            (
+                "crates/core/src/a.rs",
+                "tnb-core",
+                FileKind::LibSrc,
+                "fn top(x: f32) {\n    tnb_dsp::fft::plan(x);\n    std::mem::take(&mut x);\n}\n",
+            ),
+            (
+                "crates/dsp/src/fft.rs",
+                "tnb-dsp",
+                FileKind::LibSrc,
+                "pub fn plan(x: f32) {}\n",
+            ),
+        ]);
+        let g = build(&ms);
+        assert_eq!(edge_names(&g, &ms, "top"), ["plan"]);
+    }
+
+    #[test]
+    fn ambiguous_crate_names_and_test_fns_produce_no_edges() {
+        let ms = models(&[
+            (
+                "crates/core/src/a.rs",
+                "tnb-core",
+                FileKind::LibSrc,
+                "fn top() {\n    helper();\n}\n",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "tnb-core",
+                FileKind::LibSrc,
+                "pub fn helper() {}\npub fn unrelated() {}\n",
+            ),
+            (
+                "crates/core/src/c.rs",
+                "tnb-core",
+                FileKind::LibSrc,
+                "pub fn helper() {}\n",
+            ),
+            (
+                "crates/core/tests/t.rs",
+                "tnb-core",
+                FileKind::TestCode,
+                "fn top() {}\nfn helper() {}\n",
+            ),
+        ]);
+        let g = build(&ms);
+        // Two lib fns named `helper` → ambiguous → no edge; the test-file
+        // fns are not in the graph at all.
+        assert!(edge_names(&g, &ms, "top").is_empty());
+        assert_eq!(g.fns.len(), 4, "a::top, b::helper, b::unrelated, c::helper");
+    }
+}

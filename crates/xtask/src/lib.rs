@@ -9,8 +9,12 @@
 //! syntax, and `crates/xtask/tests/fixtures/` for one minimal bad
 //! snippet per rule.
 
+pub mod callgraph;
 pub mod diagnostics;
+pub mod effects;
 pub mod layering;
+pub mod locks;
+pub mod model;
 pub mod rules;
 pub mod source;
 pub mod walk;
@@ -18,14 +22,15 @@ pub mod walk;
 pub use diagnostics::Diagnostic;
 pub use rules::{analyze_file, FileKind, FileScope, RULES};
 pub use source::SourceFile;
-pub use walk::{classify, run_lint};
+pub use walk::{classify, lint_files, run_lint, LintInput};
 
 /// Analyzes a single in-memory file under `scope` — the entry point the
-/// golden-fixture suite drives.
+/// golden-fixture suite drives. Routed through [`lint_files`] so the
+/// interprocedural flow/lock rules run too (over the one-file graph).
 pub fn analyze_source(file: &str, content: &str, scope: &FileScope) -> Vec<Diagnostic> {
-    let src = SourceFile::parse(content);
-    let mut diags = Vec::new();
-    analyze_file(file, scope, &src, &mut diags);
-    diagnostics::sort(&mut diags);
-    diags
+    lint_files(&[LintInput {
+        rel_path: file.to_string(),
+        scope: scope.clone(),
+        content: content.to_string(),
+    }])
 }

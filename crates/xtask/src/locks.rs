@@ -1,0 +1,506 @@
+//! Pass 2c: lock discipline (TNB-LOCK01/02).
+//!
+//! Lock *identities* are lexical: the last receiver component before a
+//! `.lock()` / `.read()` / `.write()` acquisition (`self.state.lock()`
+//! → `state`). Analysis is **per file** — identities are field names,
+//! and scoping them to the file keeps `server.rs`'s `state` distinct
+//! from `client.rs`'s. A fn whose signature returns a guard type and
+//! that directly acquires a lock is a *guard wrapper*: calls to it are
+//! acquisitions of its underlying identity (the repo's
+//! poison-recovering `lock_*` helpers).
+//!
+//! * **TNB-LOCK01** — the per-file lock-order graph (identity A held
+//!   while B is acquired, directly or through a same-file call) has a
+//!   cycle, including self-loops (re-acquiring a non-reentrant Mutex).
+//!   Both acquisition sites appear in the diagnostic.
+//! * **TNB-LOCK02** — a blocking call (socket/pipe IO, `recv`, `join`,
+//!   `sleep`) while a guard is live. Condvar `wait`/`wait_timeout` are
+//!   deliberately not blocking tokens: they release the guard.
+//!
+//! Guard liveness is a lexical simulation: a `let`-bound guard lives
+//! until `drop(var)`, its enclosing brace scope closes, or the fn ends;
+//! an unbound guard (temporary) lives to the end of its line.
+
+use crate::diagnostics::Diagnostic;
+use crate::model::{EffectKind, FileModel, FnItem};
+use crate::rules::{token_cols, FileKind};
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A (0-based) source position.
+type Site = (usize, usize);
+
+/// One lock-order observation: `held` was live when `acquired` was taken.
+struct Ordered {
+    held: String,
+    acquired: String,
+    held_site: Site,
+    acq_site: Site,
+}
+
+pub fn check(models: &[FileModel], srcs: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    for (fi, m) in models.iter().enumerate() {
+        if m.scope.kind != FileKind::LibSrc {
+            continue;
+        }
+        check_file(m, &srcs[fi], diags);
+    }
+}
+
+fn check_file(m: &FileModel, src: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    // Same-file fn name index and guard-wrapper identities.
+    let mut fn_idx: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, f) in m.fns.iter().enumerate() {
+        if !f.in_test {
+            fn_idx.entry(f.name.as_str()).or_default().push(i);
+        }
+    }
+    let wrappers: BTreeMap<&str, String> = m
+        .fns
+        .iter()
+        .filter(|f| !f.in_test && f.returns_guard && !f.acquires.is_empty())
+        .map(|f| (f.name.as_str(), f.acquires[0].lock.clone()))
+        .collect();
+    let acq_sets = acquire_sets(m, &fn_idx);
+
+    let mut ordered: Vec<Ordered> = Vec::new();
+    for (i, f) in m.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        simulate(
+            m,
+            src,
+            f,
+            i,
+            &wrappers,
+            &fn_idx,
+            &acq_sets,
+            &mut ordered,
+            diags,
+        );
+    }
+    report_cycles(m, src, &ordered, diags);
+}
+
+/// Fixpoint of "identities this fn may acquire", including through
+/// same-file calls (wrappers fall out naturally: their direct
+/// acquisition is in their own set).
+fn acquire_sets(m: &FileModel, fn_idx: &BTreeMap<&str, Vec<usize>>) -> Vec<BTreeSet<String>> {
+    let mut sets: Vec<BTreeSet<String>> = m
+        .fns
+        .iter()
+        .map(|f| f.acquires.iter().map(|a| a.lock.clone()).collect())
+        .collect();
+    loop {
+        let mut changed = false;
+        for (i, f) in m.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            for call in &f.calls {
+                let Some(callees) = fn_idx.get(call.callee.as_str()) else {
+                    continue;
+                };
+                for &c in callees {
+                    if c == i {
+                        continue;
+                    }
+                    let add: Vec<String> = sets[c].difference(&sets[i]).cloned().collect();
+                    if !add.is_empty() {
+                        sets[i].extend(add);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return sets;
+        }
+    }
+}
+
+/// A live guard during the lexical simulation.
+struct Guard {
+    id: String,
+    var: Option<String>,
+    /// Brace depth (relative to fn start) at binding; the guard dies
+    /// when the depth drops below it.
+    depth: i64,
+    site: Site,
+}
+
+enum Event {
+    /// Direct or wrapper acquisition producing a live guard.
+    Acquire { id: String, col: usize },
+    /// Same-file call that (transitively) acquires locks but returns no
+    /// guard: orders `held -> each acquired`, no liveness.
+    Call { fn_ix: usize, col: usize },
+    /// Blocking token (from the model's effect seeds).
+    Block { token: &'static str, col: usize },
+    /// `drop(var)`.
+    Drop { var: String, col: usize },
+}
+
+impl Event {
+    fn col(&self) -> usize {
+        match self {
+            Event::Acquire { col, .. }
+            | Event::Call { col, .. }
+            | Event::Block { col, .. }
+            | Event::Drop { col, .. } => *col,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // internal plumbing of one file's context
+fn simulate(
+    m: &FileModel,
+    src: &SourceFile,
+    f: &FnItem,
+    f_ix: usize,
+    wrappers: &BTreeMap<&str, String>,
+    fn_idx: &BTreeMap<&str, Vec<usize>>,
+    acq_sets: &[BTreeSet<String>],
+    ordered: &mut Vec<Ordered>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth: i64 = 0;
+    let mut self_loops: BTreeSet<Site> = BTreeSet::new();
+    for line in f.sig_line..=f.end_line.min(src.lines.len().saturating_sub(1)) {
+        let code = &src.lines[line].code;
+        let mut events: Vec<Event> = Vec::new();
+        for a in f.acquires.iter().filter(|a| a.line == line) {
+            events.push(Event::Acquire {
+                id: a.lock.clone(),
+                col: a.col,
+            });
+        }
+        for call in f.calls.iter().filter(|c| c.line == line) {
+            if call.callee == f.name {
+                continue; // recursion, or a wrapper's own `.lock()` resolving to itself
+            }
+            if let Some(identity) = wrappers.get(call.callee.as_str()) {
+                events.push(Event::Acquire {
+                    id: identity.clone(),
+                    col: call.col,
+                });
+            } else if let Some(callees) = fn_idx.get(call.callee.as_str()) {
+                for &c in callees {
+                    if c != f_ix && !acq_sets[c].is_empty() {
+                        events.push(Event::Call {
+                            fn_ix: c,
+                            col: call.col,
+                        });
+                    }
+                }
+            }
+        }
+        for s in f.seeds.iter() {
+            if s.line == line && s.kind == EffectKind::Blocking {
+                events.push(Event::Block {
+                    token: s.token,
+                    col: s.col,
+                });
+            }
+        }
+        for dcol in token_cols(code, "drop") {
+            if let Some(var) = paren_ident(code, dcol + 4) {
+                events.push(Event::Drop { var, col: dcol });
+            }
+        }
+        events.sort_by_key(Event::col);
+
+        for ev in events {
+            match ev {
+                Event::Acquire { id, col } => {
+                    for g in &guards {
+                        record_order(m, src, g, &id, (line, col), &mut self_loops, ordered, diags);
+                    }
+                    guards.push(Guard {
+                        id,
+                        var: let_binding(code, col),
+                        depth,
+                        site: (line, col),
+                    });
+                }
+                Event::Call { fn_ix, col } => {
+                    for g in &guards {
+                        for b in &acq_sets[fn_ix] {
+                            record_order(
+                                m,
+                                src,
+                                g,
+                                b,
+                                (line, col),
+                                &mut self_loops,
+                                ordered,
+                                diags,
+                            );
+                        }
+                    }
+                }
+                Event::Block { token, col } => {
+                    if let Some(g) = guards.first() {
+                        if !src.is_allowed(line, "TNB-LOCK02", "locking") {
+                            diags.push(Diagnostic {
+                                file: m.rel_path.clone(),
+                                line: line + 1,
+                                col: col + 1,
+                                rule: "TNB-LOCK02",
+                                message: format!(
+                                    "blocking call `{token}` while lock guard `{}` (acquired \
+                                     at line {}) is live; drop or scope the guard before \
+                                     blocking",
+                                    g.id,
+                                    g.site.0 + 1,
+                                ),
+                            });
+                        }
+                    }
+                }
+                Event::Drop { var, .. } => {
+                    guards.retain(|g| g.var.as_deref() != Some(var.as_str()));
+                }
+            }
+        }
+
+        let net: i64 = code
+            .chars()
+            .map(|c| match c {
+                '{' => 1,
+                '}' => -1,
+                _ => 0,
+            })
+            .sum();
+        depth += net;
+        guards.retain(|g| g.var.is_some() && g.depth <= depth);
+    }
+}
+
+/// Records one held→acquired observation; self-loops are reported
+/// immediately (re-acquiring a held lock deadlocks a Mutex).
+#[allow(clippy::too_many_arguments)] // internal plumbing of one file's context
+fn record_order(
+    m: &FileModel,
+    src: &SourceFile,
+    held: &Guard,
+    acquired: &str,
+    acq_site: Site,
+    self_loops: &mut BTreeSet<Site>,
+    ordered: &mut Vec<Ordered>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if held.id == acquired {
+        if self_loops.insert(acq_site) && !src.is_allowed(acq_site.0, "TNB-LOCK01", "locking") {
+            diags.push(Diagnostic {
+                file: m.rel_path.clone(),
+                line: acq_site.0 + 1,
+                col: acq_site.1 + 1,
+                rule: "TNB-LOCK01",
+                message: format!(
+                    "lock `{}` acquired while already held (acquired at line {}); a \
+                     non-reentrant Mutex self-deadlocks here",
+                    held.id,
+                    held.site.0 + 1,
+                ),
+            });
+        }
+        return;
+    }
+    ordered.push(Ordered {
+        held: held.id.clone(),
+        acquired: acquired.to_string(),
+        held_site: held.site,
+        acq_site,
+    });
+}
+
+/// Reports lock-order cycles in the per-file graph of observations.
+fn report_cycles(
+    m: &FileModel,
+    src: &SourceFile,
+    ordered: &[Ordered],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for o in ordered {
+        adj.entry(o.held.as_str())
+            .or_default()
+            .insert(o.acquired.as_str());
+    }
+    let reach = |from: &str, to: &str| -> bool {
+        let mut seen = BTreeSet::from([from]);
+        let mut queue = vec![from];
+        while let Some(n) = queue.pop() {
+            if n == to {
+                return true;
+            }
+            for &next in adj.get(n).into_iter().flatten() {
+                if seen.insert(next) {
+                    queue.push(next);
+                }
+            }
+        }
+        false
+    };
+    let mut reported: BTreeSet<(String, String)> = BTreeSet::new();
+    for o in ordered {
+        if !reach(&o.acquired, &o.held) {
+            continue;
+        }
+        let key = if o.held < o.acquired {
+            (o.held.clone(), o.acquired.clone())
+        } else {
+            (o.acquired.clone(), o.held.clone())
+        };
+        if !reported.insert(key) {
+            continue;
+        }
+        // The edge that closes the cycle back into `held`.
+        let closing = ordered.iter().find(|c| {
+            c.acquired == o.held && (c.held == o.acquired || reach(&o.acquired, &c.held))
+        });
+        let closing_txt = closing
+            .map(|c| {
+                format!(
+                    "; the reverse order is at line {} (`{}` held at line {})",
+                    c.acq_site.0 + 1,
+                    c.held,
+                    c.held_site.0 + 1,
+                )
+            })
+            .unwrap_or_default();
+        if src.is_allowed(o.acq_site.0, "TNB-LOCK01", "locking") {
+            continue;
+        }
+        diags.push(Diagnostic {
+            file: m.rel_path.clone(),
+            line: o.acq_site.0 + 1,
+            col: o.acq_site.1 + 1,
+            rule: "TNB-LOCK01",
+            message: format!(
+                "lock-order cycle: `{}` (held since line {}) then `{}` here{}; pick one \
+                 order or merge the locks",
+                o.held,
+                o.held_site.0 + 1,
+                o.acquired,
+                closing_txt,
+            ),
+        });
+    }
+}
+
+/// The single identifier inside `(...)` starting at `open` (expects
+/// `code[open] == '('`), e.g. the `st` of `drop(st)`.
+fn paren_ident(code: &str, open: usize) -> Option<String> {
+    let rest = code.get(open..)?.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let inner = rest[..close].trim();
+    let ok = !inner.is_empty() && inner.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    ok.then(|| inner.to_string())
+}
+
+/// The variable a `let` on this line binds, when the acquisition at
+/// `col` sits on the right-hand side of `let [mut] var = …`.
+fn let_binding(code: &str, col: usize) -> Option<String> {
+    let lcol = token_cols(code, "let").into_iter().rfind(|&c| c < col)?;
+    let rest = code[lcol + 3..].trim_start();
+    let rest = rest
+        .strip_prefix("mut ")
+        .map(str::trim_start)
+        .unwrap_or(rest);
+    let ident: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    let after = rest[ident.len()..].trim_start();
+    (!ident.is_empty() && (after.starts_with('=') || after.starts_with(':'))).then_some(ident)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model;
+    use crate::rules::{FileKind, FileScope};
+
+    fn lint(content: &str) -> Vec<Diagnostic> {
+        let src = SourceFile::parse(content);
+        let scope = FileScope {
+            crate_name: "tnb-gateway".into(),
+            kind: FileKind::LibSrc,
+        };
+        let m = model::build("g.rs", &scope, &src);
+        let mut diags = Vec::new();
+        check(&[m], &[src], &mut diags);
+        diags
+    }
+
+    #[test]
+    fn opposite_acquisition_orders_cycle() {
+        let d = lint(
+            "fn a(&self) {\n    let s = self.state.lock();\n    let t = self.table.lock();\n}\n\
+             fn b(&self) {\n    let t = self.table.lock();\n    let s = self.state.lock();\n}\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "TNB-LOCK01");
+        assert!(d[0].message.contains("cycle"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let d = lint(
+            "fn a(&self) {\n    let s = self.state.lock();\n    let t = self.table.lock();\n}\n\
+             fn b(&self) {\n    let s = self.state.lock();\n    let t = self.table.lock();\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn reacquire_through_wrapper_call_is_a_self_loop() {
+        let d = lint(
+            "fn lock_state(&self) -> MutexGuard<'_, State> {\n    self.state.lock()\n}\n\
+             fn f(&self) {\n    let st = self.lock_state();\n    self.helper();\n}\n\
+             fn helper(&self) {\n    let st = self.lock_state();\n}\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("already held"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn blocking_while_guard_live_flagged_and_scoping_clears_it() {
+        let bad = lint(
+            "fn f(&self) {\n    let st = self.state.lock();\n    self.sock.write_all(&buf);\n}\n",
+        );
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert_eq!(bad[0].rule, "TNB-LOCK02");
+
+        let dropped = lint(
+            "fn f(&self) {\n    let st = self.state.lock();\n    drop(st);\n    self.sock.write_all(&buf);\n}\n",
+        );
+        assert!(dropped.is_empty(), "{dropped:?}");
+
+        let scoped = lint(
+            "fn f(&self) {\n    {\n        let st = self.state.lock();\n    }\n    self.sock.write_all(&buf);\n}\n",
+        );
+        assert!(scoped.is_empty(), "{scoped:?}");
+    }
+
+    #[test]
+    fn condvar_wait_is_not_blocking() {
+        let d = lint(
+            "fn f(&self) {\n    let mut st = self.state.lock();\n    st = self.cv.wait_timeout(st, dur).0;\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn rwlock_read_write_are_acquisitions_but_io_read_is_not() {
+        let d = lint(
+            "fn f(&self) {\n    let g = self.map.read();\n    self.sock.read_exact(&mut buf);\n}\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "TNB-LOCK02");
+    }
+}

@@ -1,13 +1,15 @@
 //! `tnb-xtask` CLI.
 //!
 //! ```text
-//! cargo run -p tnb-xtask -- lint [--json] [--root <dir>]
+//! cargo run -p tnb-xtask -- lint [--json | --github] [--root <dir>]
 //! cargo run -p tnb-xtask -- rules
 //! ```
 //!
 //! `lint` exits 0 on a clean tree and 1 with `file:line: [RULE_ID]
-//! message` diagnostics otherwise (`--json` switches stdout to the
-//! machine-readable report). `rules` prints the rule table.
+//! message` diagnostics otherwise. `--json` switches stdout to the
+//! machine-readable report; `--github` emits GitHub Actions
+//! problem-matcher lines (`::error file=…,line=…,col=…::…`) so
+//! violations annotate the PR diff. `rules` prints the rule table.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -38,17 +40,19 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: tnb-xtask lint [--json] [--root <dir>]");
+    eprintln!("usage: tnb-xtask lint [--json | --github] [--root <dir>]");
     eprintln!("       tnb-xtask rules");
 }
 
 fn lint(args: &[String]) -> ExitCode {
     let mut json = false;
+    let mut github = false;
     let mut root: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--github" => github = true,
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -71,6 +75,7 @@ fn lint(args: &[String]) -> ExitCode {
             .canonicalize()
             .unwrap_or_else(|_| PathBuf::from("."))
     });
+    let started = std::time::Instant::now();
     let diags = match run_lint(&root) {
         Ok(d) => d,
         Err(e) => {
@@ -78,20 +83,41 @@ fn lint(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let elapsed = started.elapsed();
     if json {
         println!("{}", diagnostics::to_json(&diags));
+    } else if github {
+        // GitHub Actions problem-matcher lines: the runner turns these
+        // into inline annotations on the PR diff. Newlines would break
+        // the single-line command protocol, so flatten the message.
+        for d in &diags {
+            println!(
+                "::error file={},line={},col={}::[{}] {}",
+                d.file,
+                d.line,
+                d.col,
+                d.rule,
+                d.message.replace('\n', " ")
+            );
+        }
+        eprintln!(
+            "tnb-xtask lint: {} violation(s) in {:.2?}",
+            diags.len(),
+            elapsed
+        );
     } else {
         for d in &diags {
             println!("{}", d.render());
         }
         eprintln!(
-            "tnb-xtask lint: {} violation(s) across {} rule(s)",
+            "tnb-xtask lint: {} violation(s) across {} rule(s) in {:.2?}",
             diags.len(),
             diags
                 .iter()
                 .map(|d| d.rule)
                 .collect::<std::collections::BTreeSet<_>>()
-                .len()
+                .len(),
+            elapsed
         );
     }
     if diags.is_empty() {

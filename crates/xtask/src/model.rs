@@ -1,0 +1,566 @@
+//! Pass 1 of the interprocedural analysis: a lightweight item model of
+//! one preprocessed source file.
+//!
+//! The model is deliberately lexical — built on [`SourceFile`]'s
+//! stripped lines, not a real parser. It records every `fn` item (span,
+//! visibility, `no_alloc_root` marking), the call expressions inside it
+//! (free calls, `Path::to::fn(` calls, `.method(` calls with their
+//! receiver chain), the direct *effect seeds* its body carries
+//! (allocation / panic / clock / nondet-order / blocking tokens from
+//! the curated std tables in the rule modules), and its lock-guard
+//! acquisitions. Pass 2 (`crate::callgraph`, `crate::effects`,
+//! `crate::locks`) resolves calls by name and propagates effects to a
+//! fixed point.
+
+use crate::rules::{determinism, no_alloc, panic_free, token_cols, FileScope};
+use crate::source::{item_region_end, SourceFile};
+
+/// Method/path calls that block the calling thread: socket and pipe IO,
+/// channel receives, thread joins, sleeps. `.join()` matches only the
+/// zero-argument form, so `PathBuf::join(p)` / `slice::join(sep)` never
+/// do; `.recv(` also covers `recv_timeout` via its own entry.
+pub const BLOCKING_TOKENS: [&str; 11] = [
+    ".write_all(",
+    ".flush()",
+    ".read_exact(",
+    ".read_to_end(",
+    ".read_to_string(",
+    ".read_line(",
+    ".recv()",
+    ".recv_timeout(",
+    ".accept()",
+    ".join()",
+    "thread::sleep",
+];
+
+/// Direct effect kinds a line can seed (the lattice is their power set,
+/// represented as a bit set in `crate::effects`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EffectKind {
+    /// Fresh heap allocation (constructor or collecting adapter).
+    Alloc,
+    /// Unconditional panic / unwrap / expect.
+    Panic,
+    /// Wall-clock read.
+    Clock,
+    /// Hash-randomized iteration order.
+    NondetOrder,
+    /// Blocks the calling thread (IO, join, recv, sleep).
+    Blocking,
+}
+
+/// One direct effect seed: `token` found at `line:col` (0-based).
+#[derive(Debug, Clone)]
+pub struct Seed {
+    pub kind: EffectKind,
+    pub token: &'static str,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// One call expression.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Last path segment / method name — the name resolution key.
+    pub callee: String,
+    /// Leading path segments for qualified calls (`crate::a::f(` →
+    /// `["crate", "a"]`, `tnb_dsp::fft::plan(` → `["tnb_dsp", "fft"]`,
+    /// `FftPlan::new(` → `["FftPlan"]`); empty for bare and method calls.
+    pub path: Vec<String>,
+    /// `.method(` call; `receiver` then holds the identifier chain
+    /// before the dot (`self.state.lock()` → `["self", "state"]`),
+    /// empty when the receiver is an expression (`f(x).g()`).
+    pub is_method: bool,
+    pub receiver: Vec<String>,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// One lock-guard acquisition: `.lock()` / `.read()` / `.write()` with
+/// empty argument lists (`.read(buf)` is IO, not a lock).
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Lock identity: the last receiver component (`self.state.lock()`
+    /// → `state`), or `self` for a bare `self.lock()`.
+    pub lock: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Line of the `fn` keyword (0-based) and the item's inclusive end.
+    pub sig_line: usize,
+    pub end_line: usize,
+    /// `pub fn` (not `pub(crate)`/`pub(super)`) — crate-external API.
+    pub is_pub: bool,
+    /// Carries a `tnb-lint: no_alloc_root` directive.
+    pub is_root: bool,
+    /// Inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Signature returns a `MutexGuard` / `RwLock*Guard` — calls to this
+    /// fn are themselves lock acquisitions (guard-wrapper pattern).
+    pub returns_guard: bool,
+    pub calls: Vec<CallSite>,
+    pub seeds: Vec<Seed>,
+    pub acquires: Vec<LockSite>,
+}
+
+/// The pass-1 model of one file.
+#[derive(Debug)]
+pub struct FileModel {
+    pub rel_path: String,
+    pub scope: FileScope,
+    pub fns: Vec<FnItem>,
+}
+
+/// Builds the item model for one preprocessed file.
+pub fn build(rel_path: &str, scope: &FileScope, src: &SourceFile) -> FileModel {
+    let mut fns = find_fns(src);
+    let owner = line_owners(&fns, src.lines.len());
+    for (i, line) in src.lines.iter().enumerate() {
+        let Some(f) = owner[i] else { continue };
+        if line.in_test {
+            continue;
+        }
+        scan_calls(&line.code, i, &mut fns[f].calls);
+        scan_seeds(src, i, &mut fns[f].seeds);
+        scan_locks(&line.code, i, &mut fns[f].acquires);
+    }
+    FileModel {
+        rel_path: rel_path.to_string(),
+        scope: scope.clone(),
+        fns,
+    }
+}
+
+/// Locates every `fn` item: signature line, region end, visibility,
+/// root marking, guard-returning signature.
+fn find_fns(src: &SourceFile) -> Vec<FnItem> {
+    let mut fns = Vec::new();
+    for (i, line) in src.lines.iter().enumerate() {
+        for col in token_cols(&line.code, "fn") {
+            let after = &line.code[col + 2..];
+            let Some(name) = leading_ident(after) else {
+                continue; // `fn(i32) -> i32` type position
+            };
+            let end = item_region_end(&src.lines, i);
+            let before = &line.code[..col];
+            let is_pub = token_cols(before, "pub")
+                .iter()
+                .any(|&p| !before[p + 3..].trim_start().starts_with('('));
+            // The directive sits above the fn (possibly above stacked
+            // attributes): the root whose region starts here owns it.
+            let is_root = src.roots.iter().any(|&r| {
+                r <= i && item_region_end(&src.lines, r) == end && covers_only(src, r, i)
+            });
+            let returns_guard = (i..=end.min(i + 6)).any(|j| {
+                let c = &src.lines[j].code;
+                let sig_part = match c.find('{') {
+                    Some(b) if j > i || b > col => &c[..b],
+                    _ => c.as_str(),
+                };
+                ["MutexGuard", "RwLockReadGuard", "RwLockWriteGuard"]
+                    .iter()
+                    .any(|g| sig_part.contains(g))
+            });
+            fns.push(FnItem {
+                name,
+                sig_line: i,
+                end_line: end,
+                is_pub,
+                is_root,
+                in_test: line.in_test,
+                returns_guard,
+                calls: Vec::new(),
+                seeds: Vec::new(),
+                acquires: Vec::new(),
+            });
+        }
+    }
+    fns
+}
+
+/// True when no other code line between directive `r` and fn line `i`
+/// starts a different item (the directive's region-end equality check
+/// already rules most of these out; this guards same-end nestings).
+fn covers_only(src: &SourceFile, r: usize, i: usize) -> bool {
+    (r..i).all(|j| {
+        let code = src.lines[j].code.trim();
+        code.is_empty() || code.starts_with("#[") || token_cols(code, "fn").is_empty()
+    })
+}
+
+/// The identifier at the start of `s` (after whitespace), if any.
+fn leading_ident(s: &str) -> Option<String> {
+    let t = s.trim_start();
+    let end = t
+        .char_indices()
+        .find(|(_, c)| !c.is_ascii_alphanumeric() && *c != '_')
+        .map(|(i, _)| i)
+        .unwrap_or(t.len());
+    let ident = &t[..end];
+    let starts_ok = ident
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    starts_ok.then(|| ident.to_string())
+}
+
+/// Innermost owning fn per line (`None` for module-level lines).
+fn line_owners(fns: &[FnItem], n_lines: usize) -> Vec<Option<usize>> {
+    let mut owner: Vec<Option<usize>> = vec![None; n_lines];
+    // Later (more deeply nested or simply later) fns overwrite earlier
+    // ones, leaving the innermost fn as the owner of each line.
+    for (fi, f) in fns.iter().enumerate() {
+        for slot in owner
+            .iter_mut()
+            .take(f.end_line.min(n_lines.saturating_sub(1)) + 1)
+            .skip(f.sig_line)
+        {
+            *slot = Some(fi);
+        }
+    }
+    owner
+}
+
+/// Statement keywords that look like calls when followed by `(`.
+const KEYWORDS: [&str; 14] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "else", "in", "as", "move",
+    "break", "impl",
+];
+
+/// Extracts call expressions from one stripped code line.
+fn scan_calls(code: &str, line_no: usize, out: &mut Vec<CallSite>) {
+    let b: Vec<char> = code.chars().collect();
+    let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let mut i = 0;
+    while i < b.len() {
+        if !(b[i].is_ascii_alphabetic() || b[i] == '_') || (i > 0 && is_ident(b[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut e = i;
+        while e < b.len() && is_ident(b[e]) {
+            e += 1;
+        }
+        let name: String = b[start..e].iter().collect();
+        i = e;
+        // Optional turbofish between the name and the argument list.
+        let mut j = e;
+        if b.get(j) == Some(&':') && b.get(j + 1) == Some(&':') && b.get(j + 2) == Some(&'<') {
+            let mut depth = 0i32;
+            let mut k = j + 2;
+            while k < b.len() {
+                match b[k] {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            if depth != 0 || k >= b.len() {
+                continue;
+            }
+            j = k + 1;
+        }
+        if b.get(j) != Some(&'(') {
+            continue;
+        }
+        if b.get(e) == Some(&'!') {
+            continue; // macro invocation — covered by the seed tables
+        }
+        if KEYWORDS.contains(&name.as_str()) {
+            continue;
+        }
+        // Classify by what precedes the name.
+        if start >= 2 && b[start - 1] == ':' && b[start - 2] == ':' {
+            // Qualified path call: walk the `seg::seg::` chain back.
+            let mut path = Vec::new();
+            let mut p = start - 2;
+            loop {
+                let seg_end = p;
+                let mut s = seg_end;
+                while s > 0 && is_ident(b[s - 1]) {
+                    s -= 1;
+                }
+                if s == seg_end {
+                    break; // `<T as Trait>::f(` and friends: give up on the chain
+                }
+                path.insert(0, b[s..seg_end].iter().collect::<String>());
+                if s >= 2 && b[s - 1] == ':' && b[s - 2] == ':' {
+                    p = s - 2;
+                } else {
+                    break;
+                }
+            }
+            // A fn-definition line scans its own name: `fn f(` — the
+            // path branch cannot be one, no exclusion needed.
+            out.push(CallSite {
+                callee: name,
+                path,
+                is_method: false,
+                receiver: Vec::new(),
+                line: line_no,
+                col: start,
+            });
+        } else if start >= 1 && b[start - 1] == '.' {
+            // Method call: collect the dotted identifier receiver chain.
+            let mut receiver = Vec::new();
+            let mut p = start - 1; // at the dot
+            while p > 0 {
+                let seg_end = p;
+                let mut s = seg_end;
+                while s > 0 && is_ident(b[s - 1]) {
+                    s -= 1;
+                }
+                if s == seg_end {
+                    break; // expression receiver: `f(x).g(` / `xs[i].g(`
+                }
+                receiver.insert(0, b[s..seg_end].iter().collect::<String>());
+                if s >= 1 && b[s - 1] == '.' {
+                    p = s - 1;
+                } else {
+                    break;
+                }
+            }
+            out.push(CallSite {
+                callee: name,
+                path: Vec::new(),
+                is_method: true,
+                receiver,
+                line: line_no,
+                col: start,
+            });
+        } else {
+            // Bare call — skip the fn's own definition (`fn name(`).
+            let before: String = b[..start].iter().collect();
+            if token_cols(&before, "fn")
+                .iter()
+                .any(|&c| before[c + 2..].trim().is_empty())
+            {
+                continue;
+            }
+            out.push(CallSite {
+                callee: name,
+                path: Vec::new(),
+                is_method: false,
+                receiver: Vec::new(),
+                line: line_no,
+                col: start,
+            });
+        }
+    }
+}
+
+/// Collects the direct effect seeds of one line. Allowed lines do not
+/// seed: a justified escape hatch covers the transitive story too.
+fn scan_seeds(src: &SourceFile, i: usize, out: &mut Vec<Seed>) {
+    let code = &src.lines[i].code;
+    let mut push = |kind, token: &'static str, col, direct: &str, group: &str, flow: &str| {
+        if src.is_allowed(i, direct, group) || src.is_allowed(i, flow, "flow") {
+            return;
+        }
+        out.push(Seed {
+            kind,
+            token,
+            line: i,
+            col,
+        });
+    };
+    for tok in no_alloc::ALLOC_TOKENS {
+        for col in token_cols(code, tok) {
+            push(
+                EffectKind::Alloc,
+                tok,
+                col,
+                "TNB-ALLOC01",
+                "no_alloc",
+                "TNB-FLOW01",
+            );
+        }
+    }
+    for tok in panic_free::PANIC_MACROS {
+        for col in token_cols(code, tok) {
+            push(
+                EffectKind::Panic,
+                tok,
+                col,
+                "TNB-PANIC01",
+                "panic_free",
+                "TNB-FLOW02",
+            );
+        }
+    }
+    for tok in panic_free::UNWRAP_TOKENS {
+        for col in token_cols(code, tok) {
+            push(
+                EffectKind::Panic,
+                tok,
+                col,
+                "TNB-PANIC03",
+                "panic_free",
+                "TNB-FLOW02",
+            );
+        }
+    }
+    for tok in determinism::CLOCK_TOKENS {
+        for col in token_cols(code, tok) {
+            push(
+                EffectKind::Clock,
+                tok,
+                col,
+                "TNB-DET01",
+                "determinism",
+                "TNB-FLOW03",
+            );
+        }
+    }
+    for tok in determinism::HASH_TOKENS {
+        for col in token_cols(code, tok) {
+            push(
+                EffectKind::NondetOrder,
+                tok,
+                col,
+                "TNB-DET02",
+                "determinism",
+                "TNB-FLOW03",
+            );
+        }
+    }
+    for tok in BLOCKING_TOKENS {
+        for col in token_cols(code, tok) {
+            push(
+                EffectKind::Blocking,
+                tok,
+                col,
+                "TNB-LOCK02",
+                "locking",
+                "TNB-LOCK02",
+            );
+        }
+    }
+}
+
+/// Collects lock-guard acquisitions: `.lock()` always; `.read()` /
+/// `.write()` only in their zero-argument RwLock form.
+fn scan_locks(code: &str, line_no: usize, out: &mut Vec<LockSite>) {
+    for tok in [".lock()", ".read()", ".write()"] {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(tok) {
+            let at = from + pos;
+            from = at + tok.len();
+            out.push(LockSite {
+                lock: receiver_tail(code, at),
+                line: line_no,
+                col: at,
+            });
+        }
+    }
+    out.sort_by_key(|l| l.col);
+}
+
+/// Last identifier of the receiver chain ending at byte `dot_at` (the
+/// `.` of the method token), or `self` when the chain is bare `self`,
+/// or `?` for expression receivers.
+fn receiver_tail(code: &str, dot_at: usize) -> String {
+    let b: Vec<char> = code.chars().collect();
+    let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let mut s = dot_at;
+    while s > 0 && is_ident(b[s - 1]) {
+        s -= 1;
+    }
+    if s == dot_at {
+        return "?".to_string();
+    }
+    b[s..dot_at].iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{FileKind, FileScope};
+
+    fn model_of(src: &str) -> FileModel {
+        let parsed = SourceFile::parse(src);
+        let scope = FileScope {
+            crate_name: "tnb-core".into(),
+            kind: FileKind::LibSrc,
+        };
+        build("m.rs", &scope, &parsed)
+    }
+
+    #[test]
+    fn fns_calls_and_seeds_are_extracted() {
+        let m = model_of(
+            "pub fn outer(x: u32) -> u32 {\n    helper(x);\n    self.plans.get(x).forward();\n    tnb_dsp::fft::plan(x)\n}\nfn helper(x: u32) -> u32 {\n    let v = Vec::new();\n    x\n}\n",
+        );
+        assert_eq!(m.fns.len(), 2);
+        let outer = &m.fns[0];
+        assert!(outer.is_pub && !outer.is_root);
+        let names: Vec<&str> = outer.calls.iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(names, ["helper", "get", "forward", "plan"]);
+        assert!(outer.calls[0].path.is_empty() && !outer.calls[0].is_method);
+        assert!(outer.calls[1].is_method);
+        assert_eq!(outer.calls[1].receiver, ["self", "plans"]);
+        assert_eq!(outer.calls[3].path, ["tnb_dsp", "fft"]);
+        let helper = &m.fns[1];
+        assert_eq!(helper.seeds.len(), 1);
+        assert_eq!(helper.seeds[0].kind, EffectKind::Alloc);
+        assert_eq!(helper.seeds[0].line, 6);
+    }
+
+    #[test]
+    fn root_directive_marks_the_fn() {
+        let m = model_of("// tnb-lint: no_alloc_root\npub fn hot() {\n    work();\n}\n");
+        assert!(m.fns[0].is_root);
+    }
+
+    #[test]
+    fn allowed_lines_do_not_seed() {
+        let m = model_of(
+            "fn f() {\n    // tnb-lint: allow(TNB-FLOW02) -- fixture\n    opt.unwrap();\n    x.unwrap();\n}\n",
+        );
+        assert_eq!(m.fns[0].seeds.len(), 1);
+        assert_eq!(m.fns[0].seeds[0].line, 3);
+    }
+
+    #[test]
+    fn lock_acquisitions_record_receiver_identity() {
+        let m = model_of(
+            "fn f(&self) {\n    let a = self.state.lock();\n    let b = self.inner.read();\n    sock.read(&mut buf);\n}\n",
+        );
+        let locks: Vec<&str> = m.fns[0].acquires.iter().map(|l| l.lock.as_str()).collect();
+        assert_eq!(
+            locks,
+            ["state", "inner"],
+            "read-with-args is IO, not a lock"
+        );
+    }
+
+    #[test]
+    fn guard_wrapper_signature_is_detected() {
+        let m = model_of(
+            "fn lock_state(&self) -> MutexGuard<'_, State> {\n    self.state.lock().unwrap_or_else(|e| e.into_inner())\n}\n",
+        );
+        assert!(m.fns[0].returns_guard);
+        assert_eq!(m.fns[0].acquires[0].lock, "state");
+    }
+
+    #[test]
+    fn test_code_contributes_nothing() {
+        let m = model_of(
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() {\n        v.unwrap();\n    }\n}\n",
+        );
+        let t = m.fns.iter().find(|f| f.name == "t").expect("t modeled");
+        assert!(t.in_test && t.seeds.is_empty());
+    }
+}

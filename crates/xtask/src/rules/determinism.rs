@@ -8,8 +8,11 @@
 use super::{token_cols, Ctx};
 use crate::diagnostics::Diagnostic;
 
-const CLOCK_TOKENS: [&str; 3] = ["Instant::now", "SystemTime", "std::time::Instant"];
-const HASH_TOKENS: [&str; 2] = ["HashMap", "HashSet"];
+/// Wall-clock reads; also the reads-clock seed table of the
+/// interprocedural effect analysis (`crate::effects`).
+pub const CLOCK_TOKENS: [&str; 3] = ["Instant::now", "SystemTime", "std::time::Instant"];
+/// Hash-randomized collections; also the nondet-order effect seeds.
+pub const HASH_TOKENS: [&str; 2] = ["HashMap", "HashSet"];
 const CELL_TOKENS: [&str; 2] = ["Cell<", "Cell::new"];
 
 pub fn check(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {

@@ -52,7 +52,7 @@ pub const PANIC_FREE_CRATES: [&str; 6] = [
 ];
 
 /// One registry entry: (ID, group, summary).
-pub const RULES: [(&str, &str, &str); 14] = [
+pub const RULES: [(&str, &str, &str); 19] = [
     (
         "TNB-DET01",
         "determinism",
@@ -118,6 +118,31 @@ pub const RULES: [(&str, &str, &str); 14] = [
         "TNB-LINT01",
         "lint_annotations",
         "malformed tnb-lint annotation (missing reason, unknown rule/directive)",
+    ),
+    (
+        "TNB-FLOW01",
+        "flow",
+        "transitive allocation on a path from a `tnb-lint: no_alloc_root` fn",
+    ),
+    (
+        "TNB-FLOW02",
+        "flow",
+        "transitive panic reachable from a panic-free crate's public API",
+    ),
+    (
+        "TNB-FLOW03",
+        "flow",
+        "call whose callee transitively reads the clock / iterates hash collections in a decode-path crate",
+    ),
+    (
+        "TNB-LOCK01",
+        "locking",
+        "lock-order cycle (potential deadlock), including re-acquiring a held lock",
+    ),
+    (
+        "TNB-LOCK02",
+        "locking",
+        "blocking call (IO/recv/join/sleep) while a lock guard is live",
     ),
 ];
 
@@ -204,9 +229,11 @@ pub fn analyze_file(file: &str, scope: &FileScope, src: &SourceFile, diags: &mut
 /// Finds `token` occurrences in `code` on identifier boundaries: the
 /// characters on both sides must not be identifier characters (so
 /// `assert!` does not match `debug_assert!`, `Cell<` does not match
-/// `RefCell<`, and `unsafe` does not match `unsafe_hygiene`). The
-/// trailing check only applies when the token itself ends in an
-/// identifier character. Returns 0-based columns.
+/// `RefCell<`, and `unsafe` does not match `unsafe_hygiene`). Each
+/// boundary check only applies when the token's own edge is an
+/// identifier character — `.unwrap()` after an identifier receiver
+/// (`opt.unwrap()`) is a match, since the `.` already separates.
+/// Returns 0-based columns.
 pub fn token_cols(code: &str, token: &str) -> Vec<usize> {
     let is_ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
     let mut cols = Vec::new();
@@ -214,7 +241,9 @@ pub fn token_cols(code: &str, token: &str) -> Vec<usize> {
     let mut from = 0;
     while let Some(pos) = code[from..].find(token) {
         let at = from + pos;
-        let lead = at == 0 || !is_ident(bytes[at - 1] as char);
+        let lead = !token.chars().next().is_some_and(is_ident)
+            || at == 0
+            || !is_ident(bytes[at - 1] as char);
         let end = at + token.len();
         let trail = !token.chars().next_back().is_some_and(is_ident)
             || end >= bytes.len()

@@ -8,7 +8,12 @@
 use super::{token_cols, Ctx};
 use crate::diagnostics::Diagnostic;
 
-const ALLOC_TOKENS: [&str; 12] = [
+/// Allocating constructors and collecting adapters. Doubles as the
+/// fresh-allocation seed table of the interprocedural effect analysis
+/// (`crate::effects`): amortized growth of warm buffers (`.push(`,
+/// `.extend(`, `.resize(`) is deliberately absent — the repo's hot-path
+/// contract allows it.
+pub const ALLOC_TOKENS: [&str; 12] = [
     "vec!",
     "Vec::new",
     "Vec::with_capacity",

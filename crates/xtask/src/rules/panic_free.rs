@@ -9,9 +9,12 @@
 use super::{token_cols, Ctx};
 use crate::diagnostics::Diagnostic;
 
-const PANIC_MACROS: [&str; 4] = ["panic!", "todo!", "unimplemented!", "unreachable!"];
+/// Unconditional panic macros; also the may-panic seed table of the
+/// interprocedural effect analysis (`crate::effects`).
+pub const PANIC_MACROS: [&str; 4] = ["panic!", "todo!", "unimplemented!", "unreachable!"];
 const ASSERT_MACROS: [&str; 3] = ["assert!", "assert_eq!", "assert_ne!"];
-const UNWRAP_TOKENS: [&str; 2] = [".unwrap()", ".expect("];
+/// Panicking Option/Result escape hatches; also may-panic effect seeds.
+pub const UNWRAP_TOKENS: [&str; 2] = [".unwrap()", ".expect("];
 
 pub fn check(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
     for (i, line) in ctx.src.lines.iter().enumerate() {

@@ -50,6 +50,10 @@ pub struct SourceFile {
     pub lines: Vec<Line>,
     pub allows: Vec<Allow>,
     pub bad_directives: Vec<BadDirective>,
+    /// Lines (0-based) carrying a `tnb-lint: no_alloc_root` directive.
+    /// The fn item the directive covers is the interprocedural
+    /// allocation root the effect analysis walks from.
+    pub roots: Vec<usize>,
 }
 
 impl SourceFile {
@@ -57,11 +61,12 @@ impl SourceFile {
     pub fn parse(content: &str) -> SourceFile {
         let mut lines = strip(content);
         mark_cfg_test_regions(&mut lines);
-        let (allows, bad_directives) = parse_directives(&mut lines);
+        let (allows, bad_directives, roots) = parse_directives(&mut lines);
         SourceFile {
             lines,
             allows,
             bad_directives,
+            roots,
         }
     }
 
@@ -112,14 +117,11 @@ fn strip(content: &str) -> Vec<Line> {
                         state = State::Str;
                         line.code.push('"');
                         i += 1;
-                    } else if c == 'r'
-                        && !prev_is_ident(&line.code)
-                        && raw_string_hashes(&b, i).is_some()
-                    {
-                        // r"…" / r#"…"# raw string: skip to the opening
-                        // quote, blanking the prefix.
-                        let hashes = raw_string_hashes(&b, i).unwrap_or(0);
-                        let skip = 1 + hashes as usize + 1; // r, #s, "
+                    } else if let Some((hashes, prefix)) = raw_string_start(&line.code, &b, i) {
+                        // r"…" / r#"…"# / br"…" / br#"…"# raw (byte)
+                        // string: skip to the opening quote, blanking
+                        // the prefix.
+                        let skip = prefix + hashes as usize + 1; // r/br, #s, "
                         line.code.extend(std::iter::repeat_n(' ', skip));
                         state = State::RawStr(hashes);
                         i += skip;
@@ -209,6 +211,21 @@ fn prev_is_ident(code: &str) -> bool {
         .is_some_and(|c| c.is_alphanumeric() || c == '_')
 }
 
+/// If position `i` starts a raw (byte) string literal — `r"`, `r#"`,
+/// `br"`, `br#"` — returns `(hashes, prefix_len)` where `prefix_len`
+/// counts the `r` / `br` prefix characters. Identifiers ending in `r`
+/// (`attr"…"` cannot happen, but `macro_r#"` must not) are excluded by
+/// requiring a non-identifier character before the prefix.
+fn raw_string_start(code_so_far: &str, b: &[char], i: usize) -> Option<(u32, usize)> {
+    match b.get(i) {
+        Some('r') if !prev_is_ident(code_so_far) => raw_string_hashes(b, i).map(|h| (h, 1)),
+        Some('b') if b.get(i + 1) == Some(&'r') && !prev_is_ident(code_so_far) => {
+            raw_string_hashes(b, i + 1).map(|h| (h, 2))
+        }
+        _ => None,
+    }
+}
+
 /// If `b[i] == 'r'` starts a raw string, the number of `#`s, else `None`.
 fn raw_string_hashes(b: &[char], i: usize) -> Option<u32> {
     let mut j = i + 1;
@@ -246,7 +263,7 @@ fn mark_cfg_test_regions(lines: &mut [Line]) {
 /// scans forward for the first `{` and returns the line of its matching
 /// `}`, or the line of a `;` seen before any brace (use/extern items).
 /// Falls back to `start` itself for malformed input.
-fn item_region_end(lines: &[Line], start: usize) -> usize {
+pub(crate) fn item_region_end(lines: &[Line], start: usize) -> usize {
     let mut depth: i64 = 0;
     let mut opened = false;
     for (li, line) in lines.iter().enumerate().skip(start) {
@@ -270,11 +287,12 @@ fn item_region_end(lines: &[Line], start: usize) -> usize {
     lines.len().saturating_sub(1).max(start)
 }
 
-/// Parses all `tnb-lint:` directives, marking `no_alloc` regions and
-/// collecting `allow(...)` escape hatches.
-fn parse_directives(lines: &mut [Line]) -> (Vec<Allow>, Vec<BadDirective>) {
+/// Parses all `tnb-lint:` directives, marking `no_alloc` /
+/// `no_alloc_root` regions and collecting `allow(...)` escape hatches.
+fn parse_directives(lines: &mut [Line]) -> (Vec<Allow>, Vec<BadDirective>, Vec<usize>) {
     let mut allows = Vec::new();
     let mut bad = Vec::new();
+    let mut roots = Vec::new();
     let n = lines.len();
     for i in 0..n {
         let comment = lines[i].comment.clone();
@@ -341,17 +359,27 @@ fn parse_directives(lines: &mut [Line]) -> (Vec<Allow>, Vec<BadDirective>) {
             for l in lines.iter_mut().take(end + 1).skip(i) {
                 l.no_alloc = true;
             }
+        } else if directive == "no_alloc_root" || directive.starts_with("no_alloc_root --") {
+            // A root is a no_alloc region (the line rules police its own
+            // body) plus an interprocedural seed: everything reachable
+            // from it through the call graph must be allocation-free.
+            let end = item_region_end(lines, i);
+            for l in lines.iter_mut().take(end + 1).skip(i) {
+                l.no_alloc = true;
+            }
+            roots.push(i);
         } else {
             bad.push(BadDirective {
                 line: i,
                 message: format!(
-                    "unknown `tnb-lint:` directive `{}` (expected `allow(...) -- reason` or `no_alloc`)",
+                    "unknown `tnb-lint:` directive `{}` (expected `allow(...) -- reason`, \
+                     `no_alloc`, or `no_alloc_root`)",
                     directive.split_whitespace().next().unwrap_or("")
                 ),
             });
         }
     }
-    (allows, bad)
+    (allows, bad, roots)
 }
 
 #[cfg(test)]
@@ -418,5 +446,65 @@ mod tests {
     fn char_literals_do_not_open_strings() {
         let f = SourceFile::parse("let a = '\"'; let b: Vec<u8> = vec![];");
         assert!(f.lines[0].code.contains("vec!"));
+    }
+
+    #[test]
+    fn panic_inside_raw_strings_is_blanked() {
+        // A panic! spelled inside r"…", r#"…"#, and br#"…"# literals is
+        // string content, not code — the rules must never see it.
+        for src in [
+            "let s = r\"panic!(oops)\";",
+            "let s = r#\"panic!(\"oops\")\"#;",
+            "let s = br#\"panic!(\"oops\")\"#;",
+            "let s = b\"panic!\";",
+        ] {
+            let f = SourceFile::parse(src);
+            assert!(
+                !f.lines[0].code.contains("panic!"),
+                "{src:?} leaked into code: {:?}",
+                f.lines[0].code
+            );
+        }
+        // A hashed raw string does not end at a bare quote.
+        let f = SourceFile::parse("let s = r#\"one \" two\"#; panic!(x);");
+        assert!(f.lines[0].code.contains("panic!"), "{:?}", f.lines[0].code);
+        assert!(!f.lines[0].code.contains("two"));
+    }
+
+    #[test]
+    fn raw_string_prefix_requires_token_boundary() {
+        // `attr"x"` is an identifier followed by a plain string, not a
+        // raw string: the identifier survives, the contents are blanked.
+        let f = SourceFile::parse("let y = attr\"panic!\";");
+        assert!(f.lines[0].code.contains("attr"));
+        assert!(!f.lines[0].code.contains("panic!"));
+    }
+
+    #[test]
+    fn nested_block_comments_track_depth() {
+        // Rust block comments nest: the inner /* */ does not terminate
+        // the outer one, so the panic! on line 1 is still comment…
+        let f = SourceFile::parse("/* outer /* inner */ panic!(a) */ panic!(b);");
+        let code = &f.lines[0].code;
+        assert!(!code.contains("panic!(a)"), "{code:?}");
+        assert!(code.contains("panic!(b)"), "{code:?}");
+        // …and after an imbalanced `*/ */` the second terminator is plain
+        // code, so a panic! following it IS visible to the rules.
+        let g = SourceFile::parse("/* c */ */ panic!(c);");
+        assert!(
+            g.lines[0].code.contains("panic!(c)"),
+            "{:?}",
+            g.lines[0].code
+        );
+    }
+
+    #[test]
+    fn no_alloc_root_marks_region_and_records_root() {
+        let src = "// tnb-lint: no_alloc_root\nfn hot() {\n    work();\n}\nfn cold() {}";
+        let f = SourceFile::parse(src);
+        assert_eq!(f.roots, vec![0]);
+        assert!(f.lines[1].no_alloc && f.lines[2].no_alloc);
+        assert!(!f.lines[4].no_alloc);
+        assert!(f.bad_directives.is_empty());
     }
 }

@@ -68,7 +68,7 @@ fn every_fixture_produces_exactly_its_expected_diagnostics() {
         .collect();
     names.sort();
     assert!(
-        names.len() >= 13,
+        names.len() >= 18,
         "expected at least one fixture per source rule, found {}",
         names.len()
     );

@@ -1,0 +1,13 @@
+//@ crate: tnb-phy
+//@ kind: lib
+//@ expect: TNB-FLOW01 @ 11
+
+// tnb-lint: no_alloc_root -- warm-scratch symbol path (fixture)
+pub fn hot(out: &mut Vec<f32>) {
+    helper(out);
+}
+
+fn helper(out: &mut Vec<f32>) {
+    let scratch = Vec::new();
+    out.extend(scratch);
+}

@@ -1,0 +1,12 @@
+//@ crate: tnb-gateway
+//@ kind: lib
+//@ expect: TNB-PANIC03 @ 11
+//@ expect: TNB-FLOW02 @ 11
+
+pub fn api(v: Option<u32>) -> u32 {
+    helper(v)
+}
+
+fn helper(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

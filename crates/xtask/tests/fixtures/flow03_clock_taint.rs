@@ -1,0 +1,13 @@
+//@ crate: tnb-core
+//@ kind: lib
+//@ expect: TNB-FLOW03 @ 7
+//@ expect: TNB-DET01 @ 11
+
+pub fn decode_step(x: u32) -> u32 {
+    stamp(x)
+}
+
+fn stamp(x: u32) -> u32 {
+    let _t0 = Instant::now();
+    x
+}

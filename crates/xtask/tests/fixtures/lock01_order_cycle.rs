@@ -1,0 +1,19 @@
+//@ crate: tnb-gateway
+//@ kind: lib
+//@ expect: TNB-LOCK01 @ 8
+
+impl Pair {
+    fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+
+    fn backward(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        drop(a);
+        drop(b);
+    }
+}

@@ -1,0 +1,11 @@
+//@ crate: tnb-gateway
+//@ kind: lib
+//@ expect: TNB-LOCK02 @ 8
+
+impl Conn {
+    fn flush_stats(&self, payload: &[u8]) {
+        let st = self.state.lock();
+        self.sock.write_all(payload);
+        drop(st);
+    }
+}

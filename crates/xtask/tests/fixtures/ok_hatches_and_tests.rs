@@ -18,6 +18,27 @@ pub fn warm(buf: &mut Vec<f32>, x: f32) {
     buf.push(x);
 }
 
+/// A justified flow hatch: an allowed allocation seed is covered for
+/// the transitive story too — nothing propagates to the root.
+// tnb-lint: no_alloc_root -- fixture hot entry
+pub fn hot_entry(buf: &mut Vec<f32>) {
+    cold_fill(buf);
+}
+
+fn cold_fill(buf: &mut Vec<f32>) {
+    let seed = Vec::new(); // tnb-lint: allow(TNB-FLOW01) -- cold-start fill, runs once before the symbol loop
+    buf.extend(seed);
+}
+
+impl Sink {
+    /// A justified locking hatch on the blocking call itself.
+    fn flush_locked(&self) {
+        let g = self.state.lock();
+        self.out.flush(); // tnb-lint: allow(TNB-LOCK02) -- fixture: flushing under the lock is deliberate
+        drop(g);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -1,0 +1,177 @@
+//! Red-flip regression tests for the interprocedural analyses: the
+//! inferred hot-path coverage must actually be load-bearing. Each test
+//! takes a *real* workspace source file, applies a one-line mutation a
+//! careless PR could make, and asserts the lint flips red — proving the
+//! `no_alloc_root` seeds plus effect propagation cover what the old
+//! hand-annotated helper regions used to.
+
+use std::path::{Path, PathBuf};
+use tnb_xtask::{classify, lint_files, Diagnostic, LintInput};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+/// Lints one real workspace file (optionally mutated) on its own.
+fn lint_one(rel: &str, content: String) -> Vec<Diagnostic> {
+    lint_files(&[LintInput {
+        rel_path: rel.to_string(),
+        scope: classify(rel),
+        content,
+    }])
+}
+
+fn read(rel: &str) -> String {
+    std::fs::read_to_string(workspace_root().join(rel)).expect("read workspace file")
+}
+
+/// Injects `stmt` as the first statement of `fn_name`'s body.
+fn inject_into_fn(content: &str, fn_name: &str, stmt: &str) -> String {
+    let sig_at = content
+        .find(&format!("fn {fn_name}"))
+        .unwrap_or_else(|| panic!("fn {fn_name} not found"));
+    let brace = content[sig_at..]
+        .find('{')
+        .map(|o| sig_at + o)
+        .expect("fn body opening brace");
+    format!(
+        "{}{{\n        {stmt}\n{}",
+        &content[..brace],
+        &content[brace + 1..]
+    )
+}
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn hot_path_files_are_clean_as_checked_in() {
+    for rel in [
+        "crates/phy/src/demodulate.rs",
+        "crates/core/src/sigcalc.rs",
+        "crates/core/src/sync.rs",
+        "crates/core/src/thrive/mod.rs",
+        "crates/core/src/sic.rs",
+    ] {
+        let diags = lint_one(rel, read(rel));
+        assert!(diags.is_empty(), "{rel} not clean: {diags:?}");
+    }
+}
+
+#[test]
+fn deleting_a_root_directive_flips_red() {
+    // Demoting a registered root back to a plain `no_alloc` region must
+    // be caught: the fn is in REQUIRED_NO_ALLOC_ROOTS.
+    let rel = "crates/phy/src/demodulate.rs";
+    let mutated = read(rel).replacen(
+        "// tnb-lint: no_alloc_root -- full symbol path",
+        "// tnb-lint: no_alloc -- full symbol path",
+        1,
+    );
+    let diags = lint_one(rel, mutated);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "TNB-FLOW01" && d.message.contains("signal_vector_scratch")),
+        "expected a TNB-FLOW01 for the demoted root, got {diags:?}"
+    );
+}
+
+#[test]
+fn transitive_alloc_in_dechirp_helper_flips_red() {
+    // `dechirp_into` lost its hand-written `no_alloc` region; coverage
+    // now flows from the roots that call it.
+    let rel = "crates/phy/src/demodulate.rs";
+    let mutated = inject_into_fn(&read(rel), "dechirp_into", "let leak = Vec::new();");
+    let diags = lint_one(rel, mutated);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "TNB-FLOW01" && d.message.contains("dechirp_into")),
+        "expected TNB-FLOW01 through dechirp_into, got {:?}",
+        rules_of(&diags)
+    );
+}
+
+#[test]
+fn transitive_alloc_in_sigcalc_compute_flips_red() {
+    let rel = "crates/core/src/sigcalc.rs";
+    let mutated = inject_into_fn(&read(rel), "compute", "let leak = Vec::new();");
+    let diags = lint_one(rel, mutated);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "TNB-FLOW01" && d.message.contains("symbol_vector")),
+        "expected TNB-FLOW01 from root symbol_vector, got {:?}",
+        rules_of(&diags)
+    );
+}
+
+#[test]
+fn transitive_alloc_in_thrive_fallback_flips_red() {
+    let rel = "crates/core/src/thrive/mod.rs";
+    let mutated = inject_into_fn(&read(rel), "fallback_bin", "let leak = Vec::new();");
+    let diags = lint_one(rel, mutated);
+    assert!(
+        diags.iter().any(|d| d.rule == "TNB-FLOW01"),
+        "expected TNB-FLOW01 through fallback_bin, got {:?}",
+        rules_of(&diags)
+    );
+}
+
+#[test]
+fn transitive_alloc_behind_sic_root_flips_red() {
+    // A new allocating helper called from a SIC root: the root's own
+    // body stays clean (the call is just a call), but the helper's
+    // allocation is reachable and must be flagged.
+    let rel = "crates/core/src/sic.rs";
+    let content = read(rel);
+    let mutated = format!(
+        "{}\nfn sic_leak_helper(v: &mut Vec<f32>) {{\n    let mut t = Vec::new();\n    t.push(0.0);\n    v.extend(t);\n}}\n",
+        inject_into_fn(&content, "subtract_replica", "sic_leak_helper(&mut scratch);")
+    );
+    let diags = lint_one(rel, mutated);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "TNB-FLOW01" && d.message.contains("subtract_replica")),
+        "expected TNB-FLOW01 from root subtract_replica, got {:?}",
+        rules_of(&diags)
+    );
+}
+
+#[test]
+fn gateway_lock_files_are_cycle_free_as_checked_in() {
+    for rel in [
+        "crates/gateway/src/server.rs",
+        "crates/gateway/src/client.rs",
+    ] {
+        let diags = lint_one(rel, read(rel));
+        let locks: Vec<&Diagnostic> = diags
+            .iter()
+            .filter(|d| d.rule.starts_with("TNB-LOCK"))
+            .collect();
+        assert!(locks.is_empty(), "{rel} lock findings: {locks:?}");
+    }
+}
+
+#[test]
+fn swapping_gateway_lock_order_flips_red() {
+    // `count_stale` takes the session table; synthesize a helper that
+    // nests the queue lock inside it while `push` nests the other way.
+    let rel = "crates/gateway/src/server.rs";
+    let content = read(rel);
+    let mutated = format!(
+        "{content}\nimpl Gateway2 {{\n    fn bad_order(&self) {{\n        let t = self.inner.lock();\n        let q = self.state.lock();\n        drop(q);\n        drop(t);\n    }}\n    fn good_order(&self) {{\n        let q = self.state.lock();\n        let t = self.inner.lock();\n        drop(t);\n        drop(q);\n    }}\n}}\n"
+    );
+    let diags = lint_one(rel, mutated);
+    assert!(
+        diags.iter().any(|d| d.rule == "TNB-LOCK01"),
+        "expected a TNB-LOCK01 cycle, got {:?}",
+        rules_of(&diags)
+    );
+}
