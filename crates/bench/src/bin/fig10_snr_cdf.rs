@@ -33,7 +33,7 @@ fn main() {
             let r = run_scheme(scheme.as_ref(), &built);
             // Per-node median estimated SNR (one sample per node, as the
             // paper plots node CDFs).
-            let mut per_node: HashMap<u16, Vec<f32>> = HashMap::new();
+            let mut per_node: HashMap<u32, Vec<f32>> = HashMap::new();
             for (key, snr) in r.matched.correct.iter().zip(&r.matched.snr_per_packet) {
                 per_node.entry(key.0).or_default().push(*snr);
             }

@@ -50,11 +50,11 @@ fn main() {
                 };
                 let built = build_experiment(&cfg);
                 // Ground-truth SNR per (node, seq) from the trace truth.
-                let snr_of: HashMap<(u16, u16), f32> = built
+                let snr_of: HashMap<(u32, u32), f32> = built
                     .trace
                     .truth
                     .iter()
-                    .map(|g| ((g.node_id as u16, g.seq as u16), g.snr_db))
+                    .map(|g| ((g.node_id, g.seq), g.snr_db))
                     .collect();
                 for p in &built.schedule {
                     if let Some(ri) = snr_of.get(&(p.node, p.seq)).and_then(|&s| range_of(s)) {

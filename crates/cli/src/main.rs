@@ -28,6 +28,7 @@ fn main() -> ExitCode {
         "report" => cmd::report(rest),
         "faults" => cmd::faults(rest),
         "gateway" => cmd::gateway(rest),
+        "deploy" => cmd::deploy(rest),
         "info" => cmd::info(rest),
         "--help" | "-h" | "help" => {
             println!("{}", cmd::USAGE);

@@ -1,0 +1,110 @@
+//! Bounded-memory acceptance check (ISSUE 10): a seeded 10⁵-node,
+//! two-gateway, multi-SF deployment run must complete with a live-heap
+//! high-water mark far below what materializing the city's IQ would
+//! cost — proving the synthesis path really streams.
+//!
+//! The counting allocator is process-global, so this file holds exactly
+//! one test — a sibling test allocating concurrently would pollute the
+//! high-water mark.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use tnb_deploy::{run_deploy, DeployConfig, Scene};
+use tnb_phy::params::SpreadingFactor;
+
+struct PeakAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn on_alloc(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+// SAFETY: every method delegates to `System` after touching only
+// atomics, so `System`'s allocator contract is preserved verbatim.
+unsafe impl GlobalAlloc for PeakAlloc {
+    // SAFETY: forwards the caller's layout to `System` unchanged.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+    // SAFETY: `ptr`/`layout` came from this allocator, which always
+    // allocates via `System`, so handing them back to `System` is sound.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+    // SAFETY: same provenance argument as `dealloc`; `System.realloc`
+    // upholds the `GlobalAlloc` contract for the forwarded arguments.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static GLOBAL: PeakAlloc = PeakAlloc;
+
+#[test]
+fn city_run_peak_heap_stays_far_below_materialized_iq() {
+    let cfg = DeployConfig {
+        nodes: 100_000,
+        gateways: 2,
+        sfs: vec![SpreadingFactor::SF7, SpreadingFactor::SF8],
+        side_m: 700.0,
+        duration_s: 2.0,
+        load_pps: 40.0,
+        seed: 7,
+        chunk_samples: 65_536,
+        shard_samples: 1_000_000,
+        ..DeployConfig::default()
+    };
+    let sc = Scene::new(cfg);
+
+    // What a naive implementation would hold resident: every gateway's
+    // full-duration IQ trace (Complex32 = 8 bytes per sample).
+    let full_city_bytes = sc.total_samples() as usize * sc.cfg.gateways as usize * 8;
+    assert!(
+        full_city_bytes > 24 << 20,
+        "config too small for the bound to mean anything ({full_city_bytes} B)"
+    );
+
+    let before = PEAK
+        .load(Ordering::Relaxed)
+        .max(LIVE.load(Ordering::Relaxed));
+    let report = run_deploy(&sc, 1);
+    let peak = PEAK.load(Ordering::Relaxed);
+    let delta = peak.saturating_sub(before);
+    eprintln!(
+        "peak heap delta {delta} B ({:.1} MiB) vs full-city {full_city_bytes} B ({:.1} MiB)",
+        delta as f64 / (1 << 20) as f64,
+        full_city_bytes as f64 / (1 << 20) as f64,
+    );
+
+    assert!(
+        !report.network.deliveries.is_empty(),
+        "city run must deliver packets; summary:\n{}",
+        report.summary()
+    );
+    // The streaming pipeline's high-water mark must stay well under the
+    // materialized-trace cost: chunk buffers + receiver windows are a
+    // few MB regardless of city duration. Half the full-city size is a
+    // generous ceiling that still catches any accidental materialize.
+    assert!(
+        delta < full_city_bytes / 2,
+        "peak live heap grew by {delta} B ({:.1} MiB) — expected well under \
+         half the full-city IQ of {full_city_bytes} B ({:.1} MiB)",
+        delta as f64 / (1 << 20) as f64,
+        full_city_bytes as f64 / (1 << 20) as f64,
+    );
+}

@@ -9,7 +9,7 @@ use tnb_core::packet::DecodedPacket;
 #[derive(Debug, Clone, Default)]
 pub struct MatchResult {
     /// Distinct correctly decoded `(node, seq)` pairs.
-    pub correct: Vec<(u16, u16)>,
+    pub correct: Vec<(u32, u32)>,
     /// Decoded packets whose payload matched no transmission (CRC-passing
     /// ghosts; should be empty or nearly so).
     pub unmatched: usize,
@@ -25,8 +25,8 @@ pub struct MatchResult {
 /// content (node and sequence number are embedded in every payload).
 /// Duplicate decodes of the same transmission are counted once.
 pub fn match_decoded(decoded: &[DecodedPacket], schedule: &[ScheduledPacket]) -> MatchResult {
-    let sent: HashSet<(u16, u16)> = schedule.iter().map(|p| (p.node, p.seq)).collect();
-    let mut seen: HashSet<(u16, u16)> = HashSet::new();
+    let sent: HashSet<(u32, u32)> = schedule.iter().map(|p| (p.node, p.seq)).collect();
+    let mut seen: HashSet<(u32, u32)> = HashSet::new();
     let mut result = MatchResult::default();
     for d in decoded {
         match parse_payload(&d.payload) {
@@ -51,10 +51,10 @@ pub fn throughput(correct: usize, duration_s: f64) -> f64 {
 
 /// Per-node packet reception ratio: `(node → (decoded, sent))`.
 pub fn per_node_prr(
-    correct: &[(u16, u16)],
+    correct: &[(u32, u32)],
     schedule: &[ScheduledPacket],
-) -> HashMap<u16, (usize, usize)> {
-    let mut map: HashMap<u16, (usize, usize)> = HashMap::new();
+) -> HashMap<u32, (usize, usize)> {
+    let mut map: HashMap<u32, (usize, usize)> = HashMap::new();
     for p in schedule {
         map.entry(p.node).or_default().1 += 1;
     }
@@ -130,7 +130,7 @@ mod tests {
     use tnb_phy::header::Header;
     use tnb_phy::params::CodingRate;
 
-    fn decoded(node: u16, seq: u16) -> DecodedPacket {
+    fn decoded(node: u32, seq: u32) -> DecodedPacket {
         DecodedPacket {
             payload: make_payload(node, seq),
             header: Header {
@@ -146,7 +146,7 @@ mod tests {
         }
     }
 
-    fn sched(node: u16, seq: u16, time: f64) -> ScheduledPacket {
+    fn sched(node: u32, seq: u32, time: f64) -> ScheduledPacket {
         ScheduledPacket { node, seq, time }
     }
 

@@ -130,8 +130,8 @@ pub fn build_experiment(cfg: &ExperimentConfig) -> BuiltExperiment {
                 cfo_hz: node_cfos[p.node as usize],
                 frac_delay: rng.gen_range(0.0..1.0f32).min(0.999),
                 channel: cfg.channel,
-                node_id: p.node as u32,
-                seq: p.seq as u32,
+                node_id: p.node,
+                seq: p.seq,
             },
         );
         intervals.push((p.time, p.time + airtime));
@@ -228,7 +228,7 @@ fn run_scheme_inner(
     let sent = built.schedule.len();
     let correct = matched.correct.len();
     // Airtime intervals of the decoded subset (for Figs. 11 and 18).
-    let lookup: std::collections::HashMap<(u16, u16), usize> = built
+    let lookup: std::collections::HashMap<(u32, u32), usize> = built
         .schedule
         .iter()
         .enumerate()

@@ -1,11 +1,13 @@
 //! Traffic generation and the application payload format (paper §8.1).
 //!
 //! Each node transmits packets at randomly selected times during the
-//! experiment. A 16-byte payload carries 4 bytes of header, 2 bytes of
-//! node ID, 2 bytes of sequence number, 6 bytes of data, and the PHY
+//! experiment. A 16-byte payload carries 4 bytes of header, 4 bytes of
+//! node ID, 4 bytes of sequence number, 4 bytes of data, and the PHY
 //! appends the 2-byte CRC (artifact appendix B.3.4 — the paper counts the
 //! CRC inside the "16 bytes", so the application payload here is 16 bytes
-//! and the CRC travels separately, exactly as our PHY frames it).
+//! and the CRC travels separately, exactly as our PHY frames it). Node
+//! and sequence fields are 32-bit so city-scale deployments (10⁵–10⁶
+//! nodes, `tnb-deploy`) do not overflow the encoding.
 
 use rand::Rng;
 
@@ -16,21 +18,21 @@ pub const PAYLOAD_LEN: usize = 16;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScheduledPacket {
     /// Transmitting node.
-    pub node: u16,
+    pub node: u32,
     /// Per-node sequence number.
-    pub seq: u16,
+    pub seq: u32,
     /// Transmit time in seconds from the trace start.
     pub time: f64,
 }
 
 /// Builds the paper's payload layout: `[0xA5; 4]` app header, node ID,
 /// sequence number (both big-endian), then deterministic data bytes.
-pub fn make_payload(node: u16, seq: u16) -> Vec<u8> {
+pub fn make_payload(node: u32, seq: u32) -> Vec<u8> {
     let mut p = Vec::with_capacity(PAYLOAD_LEN);
     p.extend_from_slice(&[0xA5, 0x5A, 0xA5, 0x5A]);
     p.extend_from_slice(&node.to_be_bytes());
     p.extend_from_slice(&seq.to_be_bytes());
-    for i in 0..(PAYLOAD_LEN - 8) {
+    for i in 0..(PAYLOAD_LEN - 12) {
         p.push(
             (node as u8)
                 .wrapping_mul(31)
@@ -43,12 +45,12 @@ pub fn make_payload(node: u16, seq: u16) -> Vec<u8> {
 
 /// Parses a payload back into `(node, seq)`; `None` if it does not match
 /// the layout of [`make_payload`].
-pub fn parse_payload(payload: &[u8]) -> Option<(u16, u16)> {
+pub fn parse_payload(payload: &[u8]) -> Option<(u32, u32)> {
     if payload.len() != PAYLOAD_LEN || payload[..4] != [0xA5, 0x5A, 0xA5, 0x5A] {
         return None;
     }
-    let node = u16::from_be_bytes([payload[4], payload[5]]);
-    let seq = u16::from_be_bytes([payload[6], payload[7]]);
+    let node = u32::from_be_bytes([payload[4], payload[5], payload[6], payload[7]]);
+    let seq = u32::from_be_bytes([payload[8], payload[9], payload[10], payload[11]]);
     if payload == make_payload(node, seq).as_slice() {
         Some((node, seq))
     } else {
@@ -73,8 +75,8 @@ pub fn generate_schedule<R: Rng + ?Sized>(
     let mut out = Vec::with_capacity(total);
     let latest = (duration_s - airtime_s).max(0.0);
     for k in 0..total {
-        let node = (k % n_nodes) as u16;
-        let seq = (k / n_nodes) as u16;
+        let node = (k % n_nodes) as u32;
+        let seq = (k / n_nodes) as u32;
         out.push(ScheduledPacket {
             node,
             seq,
@@ -93,7 +95,7 @@ mod tests {
 
     #[test]
     fn payload_roundtrip() {
-        for (node, seq) in [(0u16, 0u16), (7, 1), (24, 999), (65535, 65535)] {
+        for (node, seq) in [(0u32, 0u32), (7, 1), (24, 999), (65535, 65535)] {
             let p = make_payload(node, seq);
             assert_eq!(p.len(), PAYLOAD_LEN);
             assert_eq!(parse_payload(&p), Some((node, seq)));
@@ -122,8 +124,21 @@ mod tests {
             assert!(w[0].time <= w[1].time);
         }
         // Packets spread across all nodes.
-        let nodes: std::collections::HashSet<u16> = s.iter().map(|p| p.node).collect();
+        let nodes: std::collections::HashSet<u32> = s.iter().map(|p| p.node).collect();
         assert_eq!(nodes.len(), 19);
+    }
+
+    #[test]
+    fn city_scale_node_ids_roundtrip() {
+        // Regression: node ids past u16::MAX must survive the payload
+        // encoding (city-scale deployments address 10^5..10^6 nodes).
+        for (node, seq) in [(65_536u32, 0u32), (250_000, 123), (u32::MAX, u32::MAX)] {
+            let p = make_payload(node, seq);
+            assert_eq!(p.len(), PAYLOAD_LEN);
+            assert_eq!(parse_payload(&p), Some((node, seq)));
+        }
+        // Two nodes that collide mod 2^16 must produce distinct payloads.
+        assert_ne!(make_payload(1, 0), make_payload(65_537, 0));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::path::Path;
 /// Allowed `tnb-*` dependencies per crate. A crate absent from this
 /// table may depend on any library crate but never on another
 /// application crate listed in [`APP_CRATES`].
-const ALLOWED: [(&str, &[&str]); 9] = [
+const ALLOWED: [(&str, &[&str]); 10] = [
     ("tnb-dsp", &[]),
     ("tnb-metrics", &[]),
     ("tnb-xtask", &[]),
@@ -40,6 +40,17 @@ const ALLOWED: [(&str, &[&str]); 9] = [
             "tnb-baselines",
             "tnb-gateway",
             "tnb-metrics",
+        ],
+    ),
+    (
+        "tnb-deploy",
+        &[
+            "tnb-dsp",
+            "tnb-phy",
+            "tnb-channel",
+            "tnb-core",
+            "tnb-gateway",
+            "tnb-sim",
         ],
     ),
 ];

@@ -38,17 +38,24 @@ pub struct FileScope {
 /// Crates whose decode path must stay bit-deterministic across worker
 /// counts: no wall clock, no iteration-order-hazard collections, no
 /// shared `Cell` metrics outside `tnb-metrics`.
-pub const DETERMINISM_CRATES: [&str; 4] = ["tnb-dsp", "tnb-phy", "tnb-core", "tnb-gateway"];
+pub const DETERMINISM_CRATES: [&str; 5] = [
+    "tnb-dsp",
+    "tnb-phy",
+    "tnb-core",
+    "tnb-gateway",
+    "tnb-deploy",
+];
 
 /// Library crates that must never panic on hostile input (superset of
 /// the CI clippy `unwrap_used`/`expect_used` gate).
-pub const PANIC_FREE_CRATES: [&str; 6] = [
+pub const PANIC_FREE_CRATES: [&str; 7] = [
     "tnb-dsp",
     "tnb-phy",
     "tnb-channel",
     "tnb-metrics",
     "tnb-core",
     "tnb-gateway",
+    "tnb-deploy",
 ];
 
 /// One registry entry: (ID, group, summary).
